@@ -1,0 +1,51 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// on the synthetic stand-in datasets and prints the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (minutes)
+//	experiments -exp fig7 -quick    # one experiment at benchmark scale
+//
+// Experiments: table3, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table4,
+// fig9, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"progqoi/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table3 fig2..fig9 table4 all")
+	quick := flag.Bool("quick", false, "benchmark-scale datasets and sweeps")
+	flag.Parse()
+
+	o := experiments.Opts{Quick: *quick}
+	runners := map[string]func(experiments.Opts) string{
+		"table3": experiments.Table3,
+		"fig2":   experiments.Fig2,
+		"fig3":   experiments.Fig3,
+		"fig4":   experiments.Fig4,
+		"fig5":   experiments.Fig5,
+		"fig6":   experiments.Fig6,
+		"fig7":   experiments.Fig7,
+		"fig8":   experiments.Fig8,
+		"table4": experiments.Table4,
+		"fig9":   experiments.Fig9,
+		"all":    experiments.All,
+	}
+	fn, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	fmt.Println(fn(o))
+	fmt.Printf("\n[%s completed in %.1f s]\n", *exp, time.Since(start).Seconds())
+}

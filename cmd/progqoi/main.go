@@ -1,0 +1,310 @@
+// Command progqoi refactors raw float64 fields into progressive archives
+// and retrieves them under QoI error tolerances.
+//
+// Refactor a little-endian float64 binary file (one field per file):
+//
+//	progqoi refactor -dims 512x512 -method pmgard-hb -out field.pq field.f64
+//
+// Retrieve a QoI from one or more archives within a tolerance:
+//
+//	progqoi retrieve -qoi "sqrt(Vx^2+Vy^2+Vz^2)" -tol 1e-4 \
+//	    -fields Vx,Vy,Vz -out vtot_recon vx.pq vy.pq vz.pq
+//
+// Inspect an archive:
+//
+//	progqoi info field.pq
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"progqoi/internal/core"
+	"progqoi/internal/progressive"
+	"progqoi/internal/qoi"
+	"progqoi/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "refactor":
+		err = cmdRefactor(os.Args[2:])
+	case "retrieve":
+		err = cmdRetrieve(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "progqoi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  progqoi refactor -dims NxMx... [-method NAME] -out OUT.pq IN.f64
+  progqoi retrieve -qoi FORMULA -tol T -fields A,B,... [-out PREFIX] IN1.pq IN2.pq ...
+  progqoi info IN.pq
+  progqoi verify IN.pq ORIGINAL.f64
+methods: psz3, psz3-delta, pmgard, pmgard-hb (default)`)
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad dims %q", s)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func parseMethod(s string) (progressive.Method, error) {
+	switch strings.ToLower(s) {
+	case "psz3":
+		return progressive.PSZ3, nil
+	case "psz3-delta", "psz3delta":
+		return progressive.PSZ3Delta, nil
+	case "pmgard":
+		return progressive.PMGARD, nil
+	case "pmgard-hb", "pmgardhb", "":
+		return progressive.PMGARDHB, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func readF64(path string) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("%s: size %d not a multiple of 8", path, len(raw))
+	}
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out, nil
+}
+
+func writeF64(path string, vals []float64) error {
+	raw := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+func cmdRefactor(args []string) error {
+	fs := flag.NewFlagSet("refactor", flag.ExitOnError)
+	dimsStr := fs.String("dims", "", "grid dims, e.g. 512x512")
+	methodStr := fs.String("method", "pmgard-hb", "progressive method")
+	out := fs.String("out", "", "output archive path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *dimsStr == "" || *out == "" {
+		return fmt.Errorf("refactor needs -dims, -out and one input file")
+	}
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	method, err := parseMethod(*methodStr)
+	if err != nil {
+		return err
+	}
+	data, err := readF64(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ref, err := progressive.Refactor(data, dims, progressive.Options{Method: method, LosslessTail: true})
+	if err != nil {
+		return err
+	}
+	buf := ref.Marshal()
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d values -> %d fragments, %d bytes (%.2fx vs raw)\n",
+		*out, len(data), len(ref.Fragments), len(buf), float64(len(data)*8)/float64(len(buf)))
+	return nil
+}
+
+func cmdRetrieve(args []string) error {
+	fs := flag.NewFlagSet("retrieve", flag.ExitOnError)
+	formula := fs.String("qoi", "", "QoI formula over the named fields")
+	tol := fs.Float64("tol", 0, "absolute QoI error tolerance")
+	fieldsStr := fs.String("fields", "", "comma-separated field names, one per archive")
+	outPrefix := fs.String("out", "", "write reconstructed fields to PREFIX_<field>.f64")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*fieldsStr, ",")
+	if fs.NArg() == 0 || *formula == "" || !(*tol > 0) || len(names) != fs.NArg() {
+		return fmt.Errorf("retrieve needs -qoi, -tol > 0, and -fields matching the archive count")
+	}
+	expr, err := qoi.Parse(*formula, names)
+	if err != nil {
+		return err
+	}
+	vars := make([]*core.Variable, fs.NArg())
+	for i := 0; i < fs.NArg(); i++ {
+		buf, err := os.ReadFile(fs.Arg(i))
+		if err != nil {
+			return err
+		}
+		ref, err := progressive.Unmarshal(buf)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(i), err)
+		}
+		// Range metadata travels with the CLI as the loosest prefix bound
+		// (a conservative stand-in; Algorithm 4 tightens from there).
+		rng := 1.0
+		if len(ref.PrefixBounds) > 0 && ref.PrefixBounds[0] > 0 && !math.IsInf(ref.PrefixBounds[0], 0) {
+			rng = ref.PrefixBounds[0] * 10
+		}
+		vars[i] = &core.Variable{Name: names[i], Ref: ref, Range: rng}
+	}
+	rt, err := core.NewRetriever(vars, core.Config{}, nil)
+	if err != nil {
+		return err
+	}
+	res, err := rt.Retrieve(core.Request{
+		QoIs:       []qoi.QoI{{Name: "qoi", Expr: expr}},
+		Tolerances: []float64{*tol},
+	})
+	if err != nil {
+		return err
+	}
+	ne := vars[0].Ref.NumElements()
+	fmt.Printf("certified max QoI error: %s (tolerance %s)\n",
+		stats.FormatG(res.EstErrors[0]), stats.FormatG(*tol))
+	fmt.Printf("retrieved %d bytes (%.3f bits/value), %d iterations\n",
+		res.RetrievedBytes, stats.Bitrate(res.RetrievedBytes, ne*len(vars)), res.Iterations)
+	if *outPrefix != "" {
+		for i, name := range names {
+			if res.Data[i] == nil {
+				continue
+			}
+			path := fmt.Sprintf("%s_%s.f64", *outPrefix, name)
+			if err := writeF64(path, res.Data[i]); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+// cmdVerify replays a progressive retrieval against the original data and
+// prints, per request level, the guaranteed bound next to the measured
+// error — the bound must dominate at every level.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("verify needs an archive and the original .f64 file")
+	}
+	buf, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ref, err := progressive.Unmarshal(buf)
+	if err != nil {
+		return err
+	}
+	orig, err := readF64(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if len(orig) != ref.NumElements() {
+		return fmt.Errorf("original has %d values, archive %d", len(orig), ref.NumElements())
+	}
+	rd, err := progressive.NewReader(ref, nil)
+	if err != nil {
+		return err
+	}
+	rng := stats.Range(orig)
+	if rng == 0 {
+		rng = 1
+	}
+	fmt.Printf("%-12s  %-12s  %-12s  %-10s  %s\n", "rel_target", "bound", "actual", "bitrate", "ok")
+	violations := 0
+	for i := 1; i <= 14; i++ {
+		target := rng * math.Pow(10, -float64(i))
+		bound, err := rd.Advance(target)
+		if err != nil {
+			return err
+		}
+		rec, err := rd.Data()
+		if err != nil {
+			return err
+		}
+		actual := stats.MaxAbsError(orig, rec)
+		ok := actual <= bound
+		if !ok {
+			violations++
+		}
+		fmt.Printf("%-12s  %-12s  %-12s  %-10.3f  %v\n",
+			stats.FormatG(target/rng), stats.FormatG(bound/rng), stats.FormatG(actual/rng),
+			stats.Bitrate(rd.RetrievedBytes(), len(orig)), ok)
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d bound violations — archive is NOT sound", violations)
+	}
+	fmt.Println("all bounds dominate the measured errors: archive verified")
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info needs one archive")
+	}
+	buf, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ref, err := progressive.Unmarshal(buf)
+	if err != nil {
+		return err
+	}
+	dims := make([]string, len(ref.Dims))
+	for i, d := range ref.Dims {
+		dims[i] = fmt.Sprint(d)
+	}
+	fmt.Printf("method:     %s\n", ref.Method)
+	fmt.Printf("dims:       %s (%d values)\n", strings.Join(dims, "x"), ref.NumElements())
+	fmt.Printf("fragments:  %d (%d bytes total)\n", len(ref.Fragments), ref.TotalBytes())
+	if len(ref.PrefixBounds) > 0 {
+		fmt.Printf("bounds:     %s .. %s\n",
+			stats.FormatG(ref.PrefixBounds[0]), stats.FormatG(ref.PrefixBounds[len(ref.PrefixBounds)-1]))
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeField(t *testing.T, path string, n int) []float64 {
+	t.Helper()
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 75*math.Sin(float64(i)/40) + 12*math.Cos(float64(i)/9)
+	}
+	if err := writeF64(path, vals); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("4x5x6")
+	if err != nil || len(d) != 3 || d[0] != 4 || d[2] != 6 {
+		t.Fatalf("%v %v", d, err)
+	}
+	for _, bad := range []string{"", "x", "0", "3x-1", "axb"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, name := range []string{"psz3", "psz3-delta", "pmgard", "pmgard-hb", ""} {
+		if _, err := parseMethod(name); err != nil {
+			t.Errorf("%q rejected: %v", name, err)
+		}
+	}
+	if _, err := parseMethod("zfp"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestF64RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.f64")
+	want := writeField(t, path, 100)
+	got, err := readF64(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	// Odd-size file rejected.
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readF64(path); err == nil {
+		t.Fatal("odd-size file accepted")
+	}
+}
+
+func TestRefactorInfoVerifyRetrieveWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.f64")
+	arch := filepath.Join(dir, "x.pq")
+	writeField(t, in, 5000)
+
+	if err := cmdRefactor([]string{"-dims", "5000", "-out", arch, in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{arch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{arch, in}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "recon")
+	if err := cmdRetrieve([]string{"-qoi", "sqrt(x^2+1)", "-tol", "1e-4", "-fields", "x", "-out", out, arch}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := readF64(out + "_x.f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 5000 {
+		t.Fatalf("reconstruction has %d values", len(rec))
+	}
+	// The retrieved QoI sqrt(x²+1) must be within tolerance pointwise.
+	orig, _ := readF64(in)
+	for i := range orig {
+		qo := math.Sqrt(orig[i]*orig[i] + 1)
+		qr := math.Sqrt(rec[i]*rec[i] + 1)
+		if math.Abs(qo-qr) > 1e-4 {
+			t.Fatalf("QoI error %g at %d exceeds tolerance", math.Abs(qo-qr), i)
+		}
+	}
+}
+
+func TestRefactorAllMethods(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.f64")
+	writeField(t, in, 800)
+	for _, m := range []string{"psz3", "psz3-delta", "pmgard", "pmgard-hb"} {
+		arch := filepath.Join(dir, m+".pq")
+		if err := cmdRefactor([]string{"-dims", "800", "-method", m, "-out", arch, in}); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if err := cmdVerify([]string{arch, in}); err != nil {
+			t.Fatalf("%s verify: %v", m, err)
+		}
+	}
+}
+
+func TestCommandValidation(t *testing.T) {
+	if err := cmdRefactor([]string{"-dims", "10"}); err == nil {
+		t.Error("refactor without -out/input accepted")
+	}
+	if err := cmdRetrieve([]string{"-qoi", "x", "-tol", "1e-3"}); err == nil {
+		t.Error("retrieve without archives accepted")
+	}
+	if err := cmdInfo([]string{}); err == nil {
+		t.Error("info without archive accepted")
+	}
+	if err := cmdVerify([]string{"one"}); err == nil {
+		t.Error("verify with one arg accepted")
+	}
+}
+
+func TestVerifyDetectsMismatchedOriginal(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.f64")
+	arch := filepath.Join(dir, "x.pq")
+	writeField(t, in, 500)
+	if err := cmdRefactor([]string{"-dims", "500", "-out", arch, in}); err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(dir, "short.f64")
+	writeField(t, short, 400)
+	if err := cmdVerify([]string{arch, short}); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestInfoRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.pq")
+	raw := make([]byte, 64)
+	binary.LittleEndian.PutUint32(raw, 0xffffffff)
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{bad}); err == nil {
+		t.Fatal("garbage archive accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package progqoi_test
+
+// Runnable godoc examples for the public API. `go test` executes them and
+// checks the printed output, so the documentation cannot rot.
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"progqoi"
+)
+
+func demo3Fields(n int) ([]string, [][]float64) {
+	names := []string{"Vx", "Vy", "Vz"}
+	fields := make([][]float64, 3)
+	for f := range fields {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = 50 * math.Sin(2*math.Pi*float64(i)/float64(n)*float64(f+1))
+		}
+		fields[f] = data
+	}
+	return names, fields
+}
+
+// Example demonstrates the minimal refactor → retrieve path with a parsed
+// QoI and a certified tolerance.
+func Example() {
+	names, fields := demo3Fields(4096)
+	arch, err := progqoi.Refactor(names, fields, []int{4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := arch.Open(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vtot, err := progqoi.ParseQoI("VTOT", "sqrt(Vx^2+Vy^2+Vz^2)", arch.FieldNames())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{1e-3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := progqoi.ActualQoIErrors([]progqoi.QoI{vtot}, fields, res.Data)
+	fmt.Println("tolerance met:", res.ToleranceMet)
+	fmt.Println("guarantee holds:", actual[0] <= res.EstErrors[0] && res.EstErrors[0] <= 1e-3)
+	// Output:
+	// tolerance met: true
+	// guarantee holds: true
+}
+
+// ExampleParseQoI shows the formula syntax, including the automatic
+// lowering of half-integer powers into the derivable basis.
+func ExampleParseQoI() {
+	q, err := progqoi.ParseQoI("PT-factor", "(1 + 0.7*M^2)^3.5", []string{"M"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.6f\n", q.Expr.Eval([]float64{0.5}))
+	// Output:
+	// 1.758460
+}
+
+// ExampleSession_Retrieve shows incremental tightening: the second request
+// reuses every byte the first one fetched.
+func ExampleSession_Retrieve() {
+	names, fields := demo3Fields(2048)
+	arch, err := progqoi.Refactor(names, fields, []int{2048})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := arch.Open(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vtot := progqoi.TotalVelocity(0, 1, 2)
+	r1, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{1e-1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{1e-8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bytes grow monotonically:", r2.RetrievedBytes >= r1.RetrievedBytes)
+	fmt.Println("both certified:", r1.ToleranceMet && r2.ToleranceMet)
+	// Output:
+	// bytes grow monotonically: true
+	// both certified: true
+}

@@ -1,0 +1,57 @@
+// Quickstart: refactor three velocity fields once, then retrieve the total
+// velocity QoI at two successively tighter tolerances, reusing every byte
+// already fetched. This is the library's minimal end-to-end path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"progqoi"
+)
+
+func main() {
+	// A synthetic 256×256 flow: three velocity components.
+	const n = 256
+	names := []string{"Vx", "Vy", "Vz"}
+	fields := make([][]float64, 3)
+	for f := range fields {
+		data := make([]float64, n*n)
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				fx, fy := float64(x)/n, float64(y)/n
+				data[y*n+x] = 100 * math.Sin(2*math.Pi*(fx+fy)+float64(f)) * math.Cos(2*math.Pi*fx*float64(f+1))
+			}
+		}
+		fields[f] = data
+	}
+
+	// Producer side: refactor once into a progressive archive.
+	arch, err := progqoi.Refactor(names, fields, []int{n, n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := int64(3 * n * n * 8)
+	fmt.Printf("archive: %d bytes stored (raw data: %d bytes)\n", arch.StoredBytes(), raw)
+
+	// Consumer side: ask for the total velocity within an error tolerance.
+	sess, err := arch.Open(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vtot, err := progqoi.ParseQoI("VTOT", "sqrt(Vx^2+Vy^2+Vz^2)", arch.FieldNames())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tol := range []float64{1e-2, 1e-5} {
+		res, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{tol})
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := progqoi.ActualQoIErrors([]progqoi.QoI{vtot}, fields, res.Data)
+		fmt.Printf("tolerance %8.0e: certified %8.2e, actual %8.2e, retrieved %6.2f%% of raw, %d iterations\n",
+			tol, res.EstErrors[0], actual[0], 100*float64(res.RetrievedBytes)/float64(raw), res.Iterations)
+	}
+}

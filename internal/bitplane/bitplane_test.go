@@ -1,0 +1,307 @@
+package bitplane
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVals(rng *rand.Rand, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return out
+}
+
+func TestEncodeRejectsNonFinite(t *testing.T) {
+	for _, bad := range [][]float64{{math.NaN()}, {math.Inf(1)}, {1, math.Inf(-1)}} {
+		if _, err := Encode(bad, 20); err == nil {
+			t.Errorf("Encode(%v) should fail", bad)
+		}
+	}
+	if _, err := Encode([]float64{1}, 0); err == nil {
+		t.Error("numPlanes 0 should fail")
+	}
+	if _, err := Encode([]float64{1}, 63); err == nil {
+		t.Error("numPlanes 63 should fail")
+	}
+}
+
+func TestAllZerosBlock(t *testing.T) {
+	b, err := Encode(make([]float64, 100), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bound(0) != 0 || b.Bound(30) != 0 {
+		t.Fatal("all-zero block should have zero bound")
+	}
+	d := NewDecoder(b)
+	if err := d.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Values() {
+		if v != 0 {
+			t.Fatal("all-zero block should decode to zeros")
+		}
+	}
+	if b.TotalSize() != 0 {
+		t.Fatalf("all-zero block stores %d bytes", b.TotalSize())
+	}
+}
+
+func TestEmptyBlock(t *testing.T) {
+	b, err := Encode(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(b)
+	if err := d.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Values()) != 0 {
+		t.Fatal("empty block should decode empty")
+	}
+}
+
+func TestProgressiveBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := randVals(rng, 1000, 123.0)
+	vals[0] = 123.0 // exercise the max boundary
+	vals[1] = -123.0
+	b, err := Encode(vals, DefaultPlanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(b)
+	prevBound := math.Inf(1)
+	for k := 0; k <= b.B; k += 3 {
+		if err := d.Advance(k); err != nil {
+			t.Fatal(err)
+		}
+		got := d.Values()
+		bound := d.Bound()
+		if bound > prevBound {
+			t.Fatalf("bound not monotone at k=%d: %g > %g", k, bound, prevBound)
+		}
+		prevBound = bound
+		for i := range vals {
+			if e := math.Abs(vals[i] - got[i]); e > bound {
+				t.Fatalf("k=%d i=%d: error %g exceeds bound %g", k, i, e, bound)
+			}
+		}
+	}
+}
+
+func TestFullPrecisionRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := randVals(rng, 500, 1e6)
+	b, err := Encode(vals, DefaultPlanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(b)
+	if err := d.Advance(b.B); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Values()
+	tol := b.Bound(b.B)
+	for i := range vals {
+		if math.Abs(vals[i]-got[i]) > tol {
+			t.Fatalf("i=%d: %g vs %g (tol %g)", i, vals[i], got[i], tol)
+		}
+	}
+	// Full recovery should be extremely precise relative to magnitude.
+	if rel := tol / 1e6; rel > 1e-15 {
+		t.Fatalf("full-precision relative bound too loose: %g", rel)
+	}
+}
+
+func TestSignsRecovered(t *testing.T) {
+	vals := []float64{-1, 1, -0.5, 0.5, -0.25, 0.25, 0}
+	b, err := Encode(vals, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(b)
+	if err := d.Advance(40); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Values()
+	for i, v := range vals {
+		if v < 0 && got[i] > 0 || v > 0 && got[i] < 0 {
+			t.Fatalf("sign lost at %d: %g -> %g", i, v, got[i])
+		}
+	}
+}
+
+func TestZeroPlanesDecodesZero(t *testing.T) {
+	vals := []float64{3, -4, 5}
+	b, _ := Encode(vals, 20)
+	d := NewDecoder(b)
+	for _, v := range d.Values() {
+		if v != 0 {
+			t.Fatal("no planes applied should give zeros")
+		}
+	}
+	if d.Bound() < 4 { // must cover max |v| = 5 < 2^3
+		t.Fatalf("bound %g too small with no data", d.Bound())
+	}
+}
+
+func TestAdvanceClampsAndIsIdempotent(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	b, _ := Encode(vals, 10)
+	d := NewDecoder(b)
+	if err := d.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	if d.Applied() != 10 {
+		t.Fatalf("applied = %d", d.Applied())
+	}
+	v1 := d.Values()
+	if err := d.Advance(5); err != nil { // backwards advance is a no-op
+		t.Fatal(err)
+	}
+	v2 := d.Values()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("no-op advance changed values")
+		}
+	}
+}
+
+func TestPlaneSizeAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b, _ := Encode(randVals(rng, 4096, 1), 30)
+	sum := 0
+	for p := 0; p < 30; p++ {
+		sum += b.PlaneSize(p)
+	}
+	if sum != b.TotalSize() {
+		t.Fatalf("plane sizes %d != total %d", sum, b.TotalSize())
+	}
+	if b.PlaneSize(0) <= len(b.Planes[0]) {
+		t.Fatal("plane 0 must include sign fragment cost")
+	}
+}
+
+func TestLeadingZeroPlanesCompress(t *testing.T) {
+	// Values much smaller than a single large one: high planes nearly empty.
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = 1e-6
+	}
+	vals[0] = 1.0
+	b, _ := Encode(vals, 50)
+	if b.PlaneSize(1) > 200 {
+		t.Fatalf("near-empty plane stored %d bytes", b.PlaneSize(1))
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := randVals(rng, 777, 3.14)
+	b, _ := Encode(vals, 25)
+	buf := b.Marshal()
+	b2, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	d1, d2 := NewDecoder(b), NewDecoder(b2)
+	if err := d1.Advance(25); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Advance(25); err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := d1.Values(), d2.Values()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("marshal round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	b, _ := Encode(vals, 12)
+	buf := b.Marshal()
+	for _, cut := range []int{0, 3, 10, len(buf) - 1} {
+		if _, _, err := Unmarshal(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestCorruptFragmentDetected(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b, _ := Encode(vals, 12)
+	b.Planes[0] = []byte{99, 1, 2} // bad tag
+	d := NewDecoder(b)
+	if err := d.Advance(1); err == nil {
+		t.Fatal("bad tag not detected")
+	}
+	b.Planes[0] = nil
+	d = NewDecoder(b)
+	if err := d.Advance(1); err == nil {
+		t.Fatal("empty fragment not detected")
+	}
+}
+
+func TestPropertyBoundSoundness(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		scale := math.Ldexp(1, rng.Intn(40)-20)
+		vals := randVals(rng, n, scale)
+		b, err := Encode(vals, 45)
+		if err != nil {
+			return false
+		}
+		k := int(kRaw) % 46
+		d := NewDecoder(b)
+		if err := d.Advance(k); err != nil {
+			return false
+		}
+		bound := d.Bound()
+		for i, v := range d.Values() {
+			if math.Abs(vals[i]-v) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode4K(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	vals := randVals(rng, 4096, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(vals, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode4K(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	vals := randVals(rng, 4096, 1)
+	blk, _ := Encode(vals, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(blk)
+		if err := d.Advance(32); err != nil {
+			b.Fatal(err)
+		}
+		_ = d.Values()
+	}
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"progqoi/internal/datagen"
+	"progqoi/internal/progressive"
+	"progqoi/internal/qoi"
+)
+
+// smallGE builds a fast GE stand-in for unit tests.
+func smallGE() *datagen.Dataset { return datagen.GE("GE-test", 12, 256, 99) }
+
+func refactorDataset(t *testing.T, ds *datagen.Dataset, method progressive.Method) []*Variable {
+	t.Helper()
+	vars, err := RefactorVariables(ds.FieldNames, ds.Fields, ds.Dims, RefactorOptions{
+		Progressive: progressive.Options{Method: method, LosslessTail: true},
+		MaskZeros:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vars
+}
+
+func TestRetrieveMeetsQoITolerancesAllMethods(t *testing.T) {
+	ds := smallGE()
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	for _, method := range []progressive.Method{progressive.PSZ3, progressive.PSZ3Delta, progressive.PMGARD, progressive.PMGARDHB} {
+		vars := refactorDataset(t, ds, method)
+		rt, err := NewRetriever(vars, Config{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tols := make([]float64, len(ds.QoIs))
+		rels := make([]float64, len(ds.QoIs))
+		for k := range tols {
+			rels[k] = 1e-4
+			tols[k] = rels[k] * ranges[k]
+		}
+		res, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if !res.ToleranceMet {
+			t.Fatalf("%v: tolerance not met", method)
+		}
+		// The hard guarantee: actual ≤ estimated ≤ requested, per QoI.
+		actual := ActualQoIErrors(ds.QoIs, ds.Fields, res.Data)
+		for k, q := range ds.QoIs {
+			if res.EstErrors[k] > tols[k] {
+				t.Errorf("%v %s: estimated %g > tolerance %g", method, q.Name, res.EstErrors[k], tols[k])
+			}
+			if actual[k] > res.EstErrors[k] {
+				t.Errorf("%v %s: actual %g > estimated %g", method, q.Name, actual[k], res.EstErrors[k])
+			}
+		}
+		if res.RetrievedBytes <= 0 {
+			t.Errorf("%v: no bytes retrieved", method)
+		}
+	}
+}
+
+func TestIncrementalSessionReusesBytes(t *testing.T) {
+	ds := smallGE()
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt, err := NewRetriever(vars, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtot := []qoi.QoI{ds.QoIs[0]}
+	run := func(rel float64) int64 {
+		res, err := rt.Retrieve(Request{
+			QoIs:       vtot,
+			Tolerances: []float64{rel * ranges[0]},
+			InitRel:    []float64{rel},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.ToleranceMet {
+			t.Fatalf("rel %g not met", rel)
+		}
+		return res.RetrievedBytes
+	}
+	b1 := run(1e-2)
+	b2 := run(1e-4)
+	b3 := run(1e-6)
+	if !(b1 < b2 && b2 < b3) {
+		t.Fatalf("cumulative bytes should grow: %d %d %d", b1, b2, b3)
+	}
+	// A fresh session going straight to 1e-6 should cost no more than the
+	// incremental path's total (no redundancy for PMGARD-HB).
+	rt2, _ := NewRetriever(refactorDataset(t, ds, progressive.PMGARDHB), Config{}, nil)
+	res, err := rt2.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1e-6 * ranges[0]}, InitRel: []float64{1e-6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetrievedBytes > b3+b3/10 {
+		t.Fatalf("direct session (%d) much larger than incremental total (%d)", res.RetrievedBytes, b3)
+	}
+}
+
+func TestMaskKeepsSqrtEstimatesFinite(t *testing.T) {
+	ds := smallGE()
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	vtot := []qoi.QoI{ds.QoIs[0]}
+
+	// With the mask, a moderate tolerance must be reachable quickly.
+	rt, _ := NewRetriever(vars, Config{}, nil)
+	res, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1e-3 * ranges[0]}, InitRel: []float64{1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskedBytes := res.RetrievedBytes
+
+	// Without the mask the exact-zero nodes force far deeper retrieval
+	// (sqrt estimate at near-zero radicand), or exhaustion.
+	vars2 := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt2, _ := NewRetriever(vars2, Config{DisableMask: true}, nil)
+	res2, err := rt2.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1e-3 * ranges[0]}, InitRel: []float64{1e-3}})
+	if err != nil && !errors.Is(err, ErrExhausted) {
+		t.Fatal(err)
+	}
+	if res2.RetrievedBytes <= maskedBytes {
+		t.Errorf("mask should reduce retrieval: masked %d, unmasked %d", maskedBytes, res2.RetrievedBytes)
+	}
+}
+
+func TestMultiQoIRequestSatisfiesAll(t *testing.T) {
+	ds := smallGE()
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	vars := refactorDataset(t, ds, progressive.PSZ3Delta)
+	rt, _ := NewRetriever(vars, Config{}, nil)
+	// Mixed tolerances: tight on T, loose on PT.
+	rels := []float64{1e-3, 1e-6, 1e-4, 1e-3, 1e-2, 1e-5}
+	tols := make([]float64, len(rels))
+	for k := range rels {
+		tols[k] = rels[k] * ranges[k]
+	}
+	res, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := ActualQoIErrors(ds.QoIs, ds.Fields, res.Data)
+	for k, q := range ds.QoIs {
+		if actual[k] > tols[k] {
+			t.Errorf("%s: actual %g > tolerance %g", q.Name, actual[k], tols[k])
+		}
+	}
+}
+
+func TestRetrieveValidatesRequest(t *testing.T) {
+	ds := smallGE()
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt, _ := NewRetriever(vars, Config{}, nil)
+	if _, err := rt.Retrieve(Request{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: []float64{1}}); err == nil {
+		t.Error("tolerance count mismatch accepted")
+	}
+	if _, err := rt.Retrieve(Request{QoIs: ds.QoIs[:1], Tolerances: []float64{0}}); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	badQoI := []qoi.QoI{{Name: "bad", Expr: qoi.Var{Index: 99}}}
+	if _, err := rt.Retrieve(Request{QoIs: badQoI, Tolerances: []float64{1}}); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestNewRetrieverValidates(t *testing.T) {
+	ds := smallGE()
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	vars[0].ZeroMask = make([]bool, 3) // wrong length
+	if _, err := NewRetriever(vars, Config{}, nil); err == nil {
+		t.Error("bad mask length accepted")
+	}
+}
+
+func TestRefactorVariablesValidates(t *testing.T) {
+	if _, err := RefactorVariables([]string{"a"}, [][]float64{{1}, {2}}, []int{1}, RefactorOptions{}); err == nil {
+		t.Error("name/field mismatch accepted")
+	}
+	if _, err := RefactorVariables([]string{"a"}, [][]float64{{1, 2, 3}}, []int{2}, RefactorOptions{}); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+}
+
+func TestS3DMultiplicationQoIs(t *testing.T) {
+	ds := datagen.S3D(8, 12, 10, 3)
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt, _ := NewRetriever(vars, Config{}, nil)
+	rels := []float64{1e-5, 1e-5, 1e-5, 1e-5}
+	tols := make([]float64, 4)
+	for k := range tols {
+		tols[k] = rels[k] * ranges[k]
+	}
+	res, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := ActualQoIErrors(ds.QoIs, ds.Fields, res.Data)
+	for k, q := range ds.QoIs {
+		if actual[k] > res.EstErrors[k] || res.EstErrors[k] > tols[k] {
+			t.Errorf("%s: actual %g est %g tol %g", q.Name, actual[k], res.EstErrors[k], tols[k])
+		}
+	}
+}
+
+func TestTotalVelocityOn3D(t *testing.T) {
+	ds := datagen.Hurricane(6, 16, 16, 5)
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt, _ := NewRetriever(vars, Config{}, nil)
+	res, err := rt.Retrieve(Request{
+		QoIs:       ds.QoIs,
+		Tolerances: []float64{1e-5 * ranges[0]},
+		InitRel:    []float64{1e-5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := ActualQoIErrors(ds.QoIs, ds.Fields, res.Data)
+	if actual[0] > res.EstErrors[0] {
+		t.Errorf("actual %g > est %g", actual[0], res.EstErrors[0])
+	}
+}
+
+func TestTightenFactorAblation(t *testing.T) {
+	ds := smallGE()
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	vtot := []qoi.QoI{ds.QoIs[0]}
+	for _, c := range []float64{1.1, 1.5, 4} {
+		vars := refactorDataset(t, ds, progressive.PMGARDHB)
+		rt, _ := NewRetriever(vars, Config{TightenFactor: c}, nil)
+		res, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1e-4 * ranges[0]}, InitRel: []float64{1e-4}})
+		if err != nil {
+			t.Fatalf("c=%g: %v", c, err)
+		}
+		if !res.ToleranceMet {
+			t.Errorf("c=%g: tolerance not met", c)
+		}
+	}
+}
+
+func TestRegionOfInterestRetrieval(t *testing.T) {
+	ds := smallGE()
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	vtot := ds.QoIs[0]
+	ne := ds.NumElements()
+	hot := Region{Lo: 0, Hi: ne / 8}
+
+	// Same QoI requested twice: tight in the hot region, loose elsewhere.
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt, _ := NewRetriever(vars, Config{}, nil)
+	res, err := rt.Retrieve(Request{
+		QoIs:       []qoi.QoI{vtot, vtot},
+		Tolerances: []float64{1e-6 * ranges[0], 1e-2 * ranges[0]},
+		InitRel:    []float64{1e-6, 1e-2},
+		Regions:    []Region{hot, {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the hot region actually meets the tight tolerance.
+	hotOrig := make([][]float64, len(ds.Fields))
+	hotRecon := make([][]float64, len(ds.Fields))
+	for v := range ds.Fields {
+		hotOrig[v] = ds.Fields[v][hot.Lo:hot.Hi]
+		if res.Data[v] != nil {
+			hotRecon[v] = res.Data[v][hot.Lo:hot.Hi]
+		}
+	}
+	hotErr := ActualQoIErrors([]qoi.QoI{vtot}, hotOrig, hotRecon)
+	if hotErr[0] > 1e-6*ranges[0] {
+		t.Fatalf("hot region error %g exceeds tight tolerance %g", hotErr[0], 1e-6*ranges[0])
+	}
+	roiBytes := res.RetrievedBytes
+
+	// A uniformly tight request must cost at least as much as the RoI one.
+	vars2 := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt2, _ := NewRetriever(vars2, Config{}, nil)
+	res2, err := rt2.Retrieve(Request{
+		QoIs:       []qoi.QoI{vtot},
+		Tolerances: []float64{1e-6 * ranges[0]},
+		InitRel:    []float64{1e-6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.RetrievedBytes < roiBytes {
+		t.Fatalf("uniform tight request (%d B) cheaper than RoI request (%d B)", res2.RetrievedBytes, roiBytes)
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	ds := smallGE()
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt, _ := NewRetriever(vars, Config{}, nil)
+	vtot := []qoi.QoI{ds.QoIs[0]}
+	bad := []Region{{Lo: -1, Hi: 5}}
+	if _, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
+		t.Error("negative region accepted")
+	}
+	bad = []Region{{Lo: 10, Hi: 5}}
+	if _, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
+		t.Error("inverted region accepted")
+	}
+	bad = []Region{{Lo: 0, Hi: ds.NumElements() + 1}}
+	if _, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
+		t.Error("oversized region accepted")
+	}
+	if _, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1}, Regions: []Region{{}, {}}}); err == nil {
+		t.Error("region count mismatch accepted")
+	}
+}
+
+func TestIntervalEstimatorAlsoCertifies(t *testing.T) {
+	// The interval-arithmetic ablation estimator must preserve the full
+	// guarantee chain through the retrieval loop.
+	ds := smallGE()
+	ranges := QoIRanges(ds.QoIs, ds.Fields)
+	vars := refactorDataset(t, ds, progressive.PMGARDHB)
+	rt, err := NewRetriever(vars, Config{Estimator: qoi.IntervalBound}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-3, 1e-4}
+	tols := make([]float64, len(rels))
+	for k := range rels {
+		tols[k] = rels[k] * ranges[k]
+	}
+	res, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := ActualQoIErrors(ds.QoIs, ds.Fields, res.Data)
+	for k, q := range ds.QoIs {
+		if actual[k] > res.EstErrors[k] || res.EstErrors[k] > tols[k] {
+			t.Errorf("%s: actual %g est %g tol %g", q.Name, actual[k], res.EstErrors[k], tols[k])
+		}
+	}
+}
+
+func TestActualQoIErrorsAndRanges(t *testing.T) {
+	orig := [][]float64{{3, 0}, {4, 0}, {0, 0}}
+	recon := [][]float64{{3, 0}, {4, 0.1}, {0, 0}}
+	qois := []qoi.QoI{qoi.TotalVelocity(0, 1, 2)}
+	errs := ActualQoIErrors(qois, orig, recon)
+	if math.Abs(errs[0]-0.1) > 1e-12 {
+		t.Fatalf("actual error = %g, want 0.1", errs[0])
+	}
+	ranges := QoIRanges(qois, orig)
+	if ranges[0] != 5 {
+		t.Fatalf("range = %g, want 5", ranges[0])
+	}
+}
+
+func TestQoIRangesEmpty(t *testing.T) {
+	if out := QoIRanges(nil, nil); out != nil {
+		t.Fatal("nil input should give nil")
+	}
+	if out := ActualQoIErrors(nil, nil, nil); out != nil {
+		t.Fatal("nil input should give nil")
+	}
+}

@@ -1,0 +1,303 @@
+// Package datagen synthesizes deterministic stand-ins for the paper's five
+// evaluation datasets (Table III). The real archives are multi-gigabyte
+// and/or proprietary (GE), so each generator produces fields with the same
+// smoothness character, value magnitudes, and pathological features the
+// paper's pipeline exercises — most importantly the exact-zero velocity
+// nodes in the GE data that motivate the outlier mask (§V-A) — at sizes
+// configurable down to laptop scale. All generators are seeded and
+// reproducible.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"progqoi/internal/qoi"
+)
+
+// Dataset is a named collection of equally shaped fields plus the QoIs the
+// paper evaluates on it.
+type Dataset struct {
+	Name       string
+	FieldNames []string
+	Dims       []int
+	Fields     [][]float64
+	QoIs       []qoi.QoI
+}
+
+// NumElements returns the per-field element count.
+func (d *Dataset) NumElements() int {
+	n := 1
+	for _, v := range d.Dims {
+		n *= v
+	}
+	return n
+}
+
+// TotalBytes returns the raw size of all fields at float64 width.
+func (d *Dataset) TotalBytes() int64 {
+	return int64(d.NumElements()) * 8 * int64(len(d.Fields))
+}
+
+// Field returns the field with the given name, or nil.
+func (d *Dataset) Field(name string) []float64 {
+	for i, n := range d.FieldNames {
+		if n == name {
+			return d.Fields[i]
+		}
+	}
+	return nil
+}
+
+// vortex is a 2-D Lamb–Oseen-like vortex used to compose CFD-flavoured
+// velocity fields.
+type vortex struct {
+	cx, cy, strength, radius float64
+}
+
+func (v vortex) velocity(x, y float64) (vx, vy float64) {
+	dx, dy := x-v.cx, y-v.cy
+	r2 := dx*dx + dy*dy
+	if r2 < 1e-12 {
+		return 0, 0
+	}
+	// Tangential speed peaks near radius and decays outward.
+	s := v.strength * (1 - math.Exp(-r2/(v.radius*v.radius))) / math.Sqrt(r2)
+	return -s * dy, s * dx
+}
+
+// GE synthesizes the GE CFD stand-in: velocities Vx, Vy, Vz, pressure P and
+// density D on a linearized layout of blocks×blockSize nodes (the paper's
+// GE data is an unstructured mesh linearized to 1-D with a variable second
+// dimension). About 2% of nodes are wall nodes with exactly zero velocity.
+func GE(name string, blocks, blockSize int, seed int64) *Dataset {
+	n := blocks * blockSize
+	rng := rand.New(rand.NewSource(seed))
+	vxs := make([]float64, n)
+	vys := make([]float64, n)
+	vzs := make([]float64, n)
+	ps := make([]float64, n)
+	ds := make([]float64, n)
+
+	// A handful of vortices per block plus a mean flow; the block's nodes
+	// trace a space-filling path through the vortex field so the linearized
+	// signal stays smooth (mesh locality).
+	for b := 0; b < blocks; b++ {
+		nv := 3 + rng.Intn(4)
+		vorts := make([]vortex, nv)
+		for i := range vorts {
+			vorts[i] = vortex{
+				cx:       rng.Float64(),
+				cy:       rng.Float64(),
+				strength: (rng.Float64()*2 - 1) * 120,
+				radius:   0.05 + rng.Float64()*0.3,
+			}
+		}
+		meanVx := 40 + rng.Float64()*160
+		swirl := rng.Float64() * 30
+		phase := rng.Float64() * 2 * math.Pi
+		for j := 0; j < blockSize; j++ {
+			idx := b*blockSize + j
+			t := float64(j) / float64(blockSize)
+			// Serpentine path through the unit square.
+			x := t
+			y := 0.5 + 0.4*math.Sin(2*math.Pi*3*t+phase)
+			vx, vy := meanVx, 0.0
+			for _, vo := range vorts {
+				dx, dy := vo.velocity(x, y)
+				vx += dx
+				vy += dy
+			}
+			vz := swirl * math.Sin(2*math.Pi*2*t+phase)
+			// Soft speed limiter: vortex cores can produce unphysical
+			// speeds; compress smoothly toward ~250 m/s so the Bernoulli
+			// pressure stays in a physical range.
+			speed := math.Sqrt(vx*vx + vy*vy + vz*vz)
+			if speed > 0 {
+				k := 1 / math.Sqrt(1+(speed/250)*(speed/250))
+				vx, vy, vz = vx*k, vy*k, vz*k
+			}
+			speed2 := vx*vx + vy*vy + vz*vz
+			vxs[idx], vys[idx], vzs[idx] = vx, vy, vz
+			// Pressure from Bernoulli-like coupling, density weakly varying.
+			ps[idx] = 101325 - 0.5*1.2*speed2 + 500*math.Sin(2*math.Pi*5*t+phase)
+			ds[idx] = 1.2 + 0.05*math.Sin(2*math.Pi*t+phase) + 2e-3*ps[idx]/101325
+		}
+		// Wall nodes: a contiguous run at the block start (boundary layer)
+		// with exactly zero velocity, like the paper's Vx=Vy=Vz=0 nodes.
+		walls := blockSize / 50
+		for j := 0; j < walls; j++ {
+			idx := b*blockSize + j
+			vxs[idx], vys[idx], vzs[idx] = 0, 0, 0
+			ps[idx] = 101325
+		}
+	}
+	return &Dataset{
+		Name:       name,
+		FieldNames: []string{"VelocityX", "VelocityY", "VelocityZ", "Pressure", "Density"},
+		Dims:       []int{n},
+		Fields:     [][]float64{vxs, vys, vzs, ps, ds},
+		QoIs:       qoi.GEQoIs(),
+	}
+}
+
+// GESmall builds the default laptop-scale GE-small stand-in.
+func GESmall() *Dataset { return GE("GE-small", 200, 320, 42) }
+
+// GELarge builds the stand-in for the 96-block transfer experiment.
+func GELarge() *Dataset { return GE("GE-large", 96, 4096, 43) }
+
+// Hurricane synthesizes a 3-D hurricane-like wind field (Vx, Vy, Vz): a
+// strong vertical vortex with an eye, vertical shear, and large-scale waves.
+func Hurricane(nz, ny, nx int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := nz * ny * nx
+	vxs := make([]float64, n)
+	vys := make([]float64, n)
+	vzs := make([]float64, n)
+	eyeX := 0.5 + 0.1*rng.Float64()
+	eyeY := 0.5 + 0.1*rng.Float64()
+	for z := 0; z < nz; z++ {
+		zt := float64(z) / float64(maxi(nz-1, 1))
+		// The vortex weakens and tilts with altitude.
+		v := vortex{
+			cx:       eyeX + 0.1*zt,
+			cy:       eyeY - 0.05*zt,
+			strength: 70 * (1 - 0.6*zt),
+			radius:   0.12 + 0.05*zt,
+		}
+		for y := 0; y < ny; y++ {
+			yt := float64(y) / float64(maxi(ny-1, 1))
+			for x := 0; x < nx; x++ {
+				xt := float64(x) / float64(maxi(nx-1, 1))
+				idx := (z*ny+y)*nx + x
+				vx, vy := v.velocity(xt, yt)
+				vx += 8 * math.Sin(2*math.Pi*(yt+0.3*zt))
+				vy += 6 * math.Cos(2*math.Pi*(xt-0.2*zt))
+				vxs[idx] = vx
+				vys[idx] = vy
+				vzs[idx] = 2 * math.Sin(2*math.Pi*(xt+yt)) * (1 - zt)
+			}
+		}
+	}
+	return &Dataset{
+		Name:       "Hurricane",
+		FieldNames: []string{"U", "V", "W"},
+		Dims:       []int{nz, ny, nx},
+		Fields:     [][]float64{vxs, vys, vzs},
+		QoIs:       []qoi.QoI{qoi.TotalVelocity(0, 1, 2)},
+	}
+}
+
+// HurricaneSmall builds the default scaled Hurricane stand-in.
+func HurricaneSmall() *Dataset { return Hurricane(16, 48, 48, 44) }
+
+// NYX synthesizes cosmology-like baryon velocity fields: Gaussian random
+// fields from superposed Fourier modes with a power-law spectrum, the
+// texture of large-scale-structure velocity data.
+func NYX(nz, ny, nx int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := nz * ny * nx
+	fields := make([][]float64, 3)
+	const modes = 48
+	for f := 0; f < 3; f++ {
+		data := make([]float64, n)
+		type mode struct {
+			kx, ky, kz, amp, phase float64
+		}
+		ms := make([]mode, modes)
+		for i := range ms {
+			k := 1 + rng.Float64()*7
+			theta := rng.Float64() * math.Pi
+			phi := rng.Float64() * 2 * math.Pi
+			ms[i] = mode{
+				kx:    k * math.Sin(theta) * math.Cos(phi),
+				ky:    k * math.Sin(theta) * math.Sin(phi),
+				kz:    k * math.Cos(theta),
+				amp:   3e5 * math.Pow(k, -1.7) / modes * 6, // ~1e5-scale velocities like NYX (cm/s)
+				phase: rng.Float64() * 2 * math.Pi,
+			}
+		}
+		for z := 0; z < nz; z++ {
+			zt := float64(z) / float64(nz)
+			for y := 0; y < ny; y++ {
+				yt := float64(y) / float64(ny)
+				for x := 0; x < nx; x++ {
+					xt := float64(x) / float64(nx)
+					v := 0.0
+					for _, m := range ms {
+						v += m.amp * math.Sin(2*math.Pi*(m.kx*xt+m.ky*yt+m.kz*zt)+m.phase)
+					}
+					data[(z*ny+y)*nx+x] = v
+				}
+			}
+		}
+		fields[f] = data
+	}
+	return &Dataset{
+		Name:       "NYX",
+		FieldNames: []string{"velocity_x", "velocity_y", "velocity_z"},
+		Dims:       []int{nz, ny, nx},
+		Fields:     fields,
+		QoIs:       []qoi.QoI{qoi.TotalVelocity(0, 1, 2)},
+	}
+}
+
+// NYXSmall builds the default scaled NYX stand-in.
+func NYXSmall() *Dataset { return NYX(32, 32, 32, 45) }
+
+// S3D synthesizes combustion species molar concentrations: 8 species with
+// flame-front (tanh) profiles plus smooth background variation, all
+// strictly positive and small like real mass fractions.
+func S3D(nz, ny, nx int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := nz * ny * nx
+	names := []string{"H2", "O2", "H2O", "H", "O", "OH", "HO2", "H2O2"}
+	scales := []float64{2e-2, 2e-1, 1e-1, 5e-4, 3e-4, 2e-3, 1e-4, 5e-5}
+	fields := make([][]float64, len(names))
+	// One wrinkled flame front through the domain, shared by all species.
+	frontPhase := rng.Float64() * 2 * math.Pi
+	frontAmp := 0.1 + 0.1*rng.Float64()
+	for f := range names {
+		data := make([]float64, n)
+		sign := 1.0
+		if f%2 == 0 {
+			sign = -1.0 // reactants deplete across the front, products form
+		}
+		blobX := rng.Float64()
+		blobY := rng.Float64()
+		for z := 0; z < nz; z++ {
+			zt := float64(z) / float64(nz)
+			for y := 0; y < ny; y++ {
+				yt := float64(y) / float64(ny)
+				front := 0.5 + frontAmp*math.Sin(2*math.Pi*2*yt+frontPhase) +
+					0.05*math.Sin(2*math.Pi*3*zt)
+				for x := 0; x < nx; x++ {
+					xt := float64(x) / float64(nx)
+					prof := 0.5 * (1 + sign*math.Tanh((xt-front)*20))
+					blob := 0.3 * math.Exp(-((xt-blobX)*(xt-blobX)+(yt-blobY)*(yt-blobY))*8)
+					v := scales[f] * (0.05 + prof + blob*(0.5+0.5*math.Sin(2*math.Pi*4*zt)))
+					data[(z*ny+y)*nx+x] = v
+				}
+			}
+		}
+		fields[f] = data
+	}
+	return &Dataset{
+		Name:       "S3D",
+		FieldNames: names,
+		Dims:       []int{nz, ny, nx},
+		Fields:     fields,
+		QoIs:       qoi.S3DProducts(),
+	}
+}
+
+// S3DSmall builds the default scaled S3D stand-in.
+func S3DSmall() *Dataset { return S3D(24, 32, 20, 46) }
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

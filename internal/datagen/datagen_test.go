@@ -1,0 +1,192 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGEDeterministic(t *testing.T) {
+	a := GE("x", 10, 100, 7)
+	b := GE("x", 10, 100, 7)
+	for f := range a.Fields {
+		for i := range a.Fields[f] {
+			if a.Fields[f][i] != b.Fields[f][i] {
+				t.Fatalf("field %d differs at %d", f, i)
+			}
+		}
+	}
+	c := GE("x", 10, 100, 8)
+	same := true
+	for i := range a.Fields[0] {
+		if a.Fields[0][i] != c.Fields[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGEShapeAndFields(t *testing.T) {
+	d := GESmall()
+	if d.NumElements() != 200*320 {
+		t.Fatalf("elements = %d", d.NumElements())
+	}
+	if len(d.Fields) != 5 || len(d.FieldNames) != 5 {
+		t.Fatalf("want 5 fields")
+	}
+	if len(d.QoIs) != 6 {
+		t.Fatalf("want 6 QoIs, got %d", len(d.QoIs))
+	}
+	for f, data := range d.Fields {
+		if len(data) != d.NumElements() {
+			t.Fatalf("field %d has %d elements", f, len(data))
+		}
+		for i, v := range data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("field %d non-finite at %d", f, i)
+			}
+		}
+	}
+	if d.Field("Pressure") == nil || d.Field("nope") != nil {
+		t.Fatal("Field lookup broken")
+	}
+}
+
+func TestGEHasExactZeroVelocityNodes(t *testing.T) {
+	d := GESmall()
+	vx, vy, vz := d.Fields[0], d.Fields[1], d.Fields[2]
+	zeros := 0
+	for i := range vx {
+		if vx[i] == 0 && vy[i] == 0 && vz[i] == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("GE data must contain exact-zero velocity nodes (outlier-mask motivation)")
+	}
+	frac := float64(zeros) / float64(len(vx))
+	if frac < 0.005 || frac > 0.1 {
+		t.Fatalf("zero-node fraction %.3f outside [0.005, 0.1]", frac)
+	}
+}
+
+func TestGEPhysicalRanges(t *testing.T) {
+	d := GESmall()
+	p := d.Field("Pressure")
+	den := d.Field("Density")
+	for i := range p {
+		if p[i] < 5e4 || p[i] > 2e5 {
+			t.Fatalf("pressure %g out of physical range at %d", p[i], i)
+		}
+		if den[i] < 0.8 || den[i] > 1.6 {
+			t.Fatalf("density %g out of physical range at %d", den[i], i)
+		}
+	}
+}
+
+func TestHurricane(t *testing.T) {
+	d := HurricaneSmall()
+	if len(d.Dims) != 3 || len(d.Fields) != 3 {
+		t.Fatal("hurricane should be 3 3-D fields")
+	}
+	if len(d.QoIs) != 1 || d.QoIs[0].Name != "VTOT" {
+		t.Fatal("hurricane QoI should be total velocity")
+	}
+	// Wind speeds should be storm-like: peak above 30, not absurd.
+	peak := 0.0
+	for i := range d.Fields[0] {
+		s := math.Sqrt(d.Fields[0][i]*d.Fields[0][i] + d.Fields[1][i]*d.Fields[1][i])
+		if s > peak {
+			peak = s
+		}
+	}
+	if peak < 30 || peak > 500 {
+		t.Fatalf("peak wind %g implausible", peak)
+	}
+}
+
+func TestNYX(t *testing.T) {
+	d := NYXSmall()
+	if d.NumElements() != 32*32*32 {
+		t.Fatalf("elements = %d", d.NumElements())
+	}
+	// Velocity magnitudes should be ~1e5-scale with both signs.
+	hasPos, hasNeg := false, false
+	maxAbs := 0.0
+	for _, v := range d.Fields[0] {
+		if v > 0 {
+			hasPos = true
+		}
+		if v < 0 {
+			hasNeg = true
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if !hasPos || !hasNeg {
+		t.Fatal("NYX velocities should be signed")
+	}
+	if maxAbs < 1e4 || maxAbs > 1e7 {
+		t.Fatalf("NYX velocity scale %g implausible", maxAbs)
+	}
+}
+
+func TestS3DPositiveAndSmall(t *testing.T) {
+	d := S3DSmall()
+	if len(d.Fields) != 8 {
+		t.Fatalf("want 8 species, got %d", len(d.Fields))
+	}
+	if len(d.QoIs) != 4 {
+		t.Fatalf("want 4 molar products, got %d", len(d.QoIs))
+	}
+	for f, data := range d.Fields {
+		for i, v := range data {
+			if v <= 0 {
+				t.Fatalf("species %d non-positive (%g) at %d", f, v, i)
+			}
+			if v > 1 {
+				t.Fatalf("species %d mass fraction %g > 1 at %d", f, v, i)
+			}
+		}
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	d := GE("x", 2, 10, 1)
+	if d.TotalBytes() != 2*10*8*5 {
+		t.Fatalf("TotalBytes = %d", d.TotalBytes())
+	}
+}
+
+func TestFieldsAreSmoothEnoughToCompress(t *testing.T) {
+	// The evaluation depends on the stand-ins being compressible: check the
+	// mean |second difference| is far below the field range.
+	for _, d := range []*Dataset{GESmall(), HurricaneSmall(), NYXSmall(), S3DSmall()} {
+		for f, data := range d.Fields {
+			if len(data) < 3 {
+				continue
+			}
+			lo, hi := data[0], data[0]
+			sum := 0.0
+			for i := 1; i < len(data)-1; i++ {
+				if data[i] < lo {
+					lo = data[i]
+				}
+				if data[i] > hi {
+					hi = data[i]
+				}
+				sum += math.Abs(data[i+1] - 2*data[i] + data[i-1])
+			}
+			if hi == lo {
+				continue
+			}
+			mean := sum / float64(len(data)-2)
+			if mean > (hi-lo)*0.2 {
+				t.Errorf("%s field %d too rough: mean 2nd diff %g vs range %g", d.Name, f, mean, hi-lo)
+			}
+		}
+	}
+}

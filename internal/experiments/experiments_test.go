@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Opts{Quick: true}
+
+func mustNotError(t *testing.T, name, out string) {
+	t.Helper()
+	if strings.Contains(out, name+": ") && strings.Contains(out, "error") {
+		t.Fatalf("%s reported an error:\n%s", name, out)
+	}
+	lower := strings.ToLower(out)
+	for _, bad := range []string{"fig2: ", "fig3: ", "fig4: ", "fig5: ", "fig6: ", "fig7: ", "fig8: ", "fig9: ", "table4: "} {
+		if strings.HasPrefix(lower, bad) {
+			t.Fatalf("%s failed: %s", name, out)
+		}
+	}
+	if len(out) < 50 {
+		t.Fatalf("%s output suspiciously short:\n%s", name, out)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := Table3(quick)
+	mustNotError(t, "table3", out)
+	for _, ds := range []string{"GE-small", "Hurricane", "NYX", "S3D", "GE-large"} {
+		if !strings.Contains(out, ds) {
+			t.Errorf("Table3 missing %s", ds)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	out := Fig2(quick)
+	mustNotError(t, "fig2", out)
+	for _, f := range fig2Fields {
+		if !strings.Contains(out, f) {
+			t.Errorf("Fig2 missing field %s", f)
+		}
+	}
+	if !strings.Contains(out, "PMGARD-HB") {
+		t.Error("Fig2 missing method column")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	out := Fig3(quick)
+	mustNotError(t, "fig3", out)
+	if !strings.Contains(out, "est(OB)") || !strings.Contains(out, "real(HB)") {
+		t.Error("Fig3 missing OB/HB columns")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	out := Fig4(quick)
+	mustNotError(t, "fig4", out)
+	for _, q := range []string{"VTOT", "T", "C", "Mach", "PT", "mu"} {
+		if !strings.Contains(out, ":: "+q+"]") {
+			t.Errorf("Fig4 missing QoI %s", q)
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	out := Fig5(quick)
+	mustNotError(t, "fig5", out)
+	if !strings.Contains(out, "NYX") || !strings.Contains(out, "Hurricane") {
+		t.Error("Fig5 missing a dataset")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	out := Fig6(quick)
+	mustNotError(t, "fig6", out)
+	if !strings.Contains(out, "x1*x3") {
+		t.Error("Fig6 missing molar product")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	out := Fig7(quick)
+	mustNotError(t, "fig7", out)
+	if !strings.Contains(out, "PSZ3-delta") {
+		t.Error("Fig7 missing method")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	out := Fig8(quick)
+	mustNotError(t, "fig8", out)
+	if !strings.Contains(out, "S3D") {
+		t.Error("Fig8 missing dataset")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	out := Table4(quick)
+	mustNotError(t, "table4", out)
+	if !strings.Contains(out, "Refactoring") || !strings.Contains(out, "1E-5") {
+		t.Error("Table4 missing columns")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	out := Fig9(quick)
+	mustNotError(t, "fig9", out)
+	if !strings.Contains(out, "speedup_vs_raw") {
+		t.Error("Fig9 missing speedup column")
+	}
+}

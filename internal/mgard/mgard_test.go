@@ -1,0 +1,338 @@
+package mgard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"progqoi/internal/grid"
+)
+
+func randField(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 10
+	}
+	return out
+}
+
+func smoothField(g *grid.Grid) []float64 {
+	out := make([]float64, g.Size())
+	for off := range out {
+		c := g.Coords(off)
+		v := 0.0
+		for d, x := range c {
+			v += math.Sin(2*math.Pi*float64(x)/float64(g.Dim(d))+float64(d)) * float64(d+1)
+		}
+		out[off] = v
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+var testShapes = [][]int{
+	{1}, {2}, {3}, {5}, {17}, {100}, {129},
+	{1, 1}, {4, 4}, {5, 7}, {16, 33},
+	{3, 4, 5}, {8, 8, 8}, {9, 5, 17},
+}
+
+func TestRoundTripExactBothBases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range testShapes {
+		g := grid.MustNew(dims...)
+		data := randField(rng, g.Size())
+		for _, basis := range []Basis{Hierarchical, Orthogonal} {
+			d, err := Decompose(data, g, basis)
+			if err != nil {
+				t.Fatalf("%v %v: %v", dims, basis, err)
+			}
+			rec := d.Reconstruct()
+			// Transform is exactly invertible up to float round-off.
+			tol := 1e-9 * (1 + maxAbs(data))
+			if e := maxAbsDiff(data, rec); e > tol {
+				t.Errorf("%v %v: round-trip error %g > %g", dims, basis, e, tol)
+			}
+		}
+	}
+}
+
+func maxAbs(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if x := math.Abs(v); x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestDecomposeRejectsBadInput(t *testing.T) {
+	g := grid.MustNew(4)
+	if _, err := Decompose([]float64{1, 2, 3}, g, Hierarchical); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Decompose([]float64{1, 2, math.NaN(), 4}, g, Hierarchical); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := Decompose([]float64{1, 2, math.Inf(1), 4}, g, Orthogonal); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestGroupsPartitionTheGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range testShapes {
+		g := grid.MustNew(dims...)
+		d, err := Decompose(randField(rng, g.Size()), g, Hierarchical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]int)
+		total := 0
+		for gi := 0; gi < d.NumGroups(); gi++ {
+			d.groupIndices(gi, func(off int) {
+				seen[off]++
+				total++
+			})
+		}
+		if total != g.Size() {
+			t.Errorf("%v: groups cover %d of %d offsets", dims, total, g.Size())
+		}
+		for off, cnt := range seen {
+			if cnt != 1 {
+				t.Errorf("%v: offset %d covered %d times", dims, off, cnt)
+			}
+		}
+	}
+}
+
+func TestGroupGetSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := grid.MustNew(9, 5)
+	data := randField(rng, g.Size())
+	d, _ := Decompose(data, g, Orthogonal)
+	// Rebuild a shell from extracted groups; reconstruction must match.
+	shell := d.Shell()
+	for gi := 0; gi < d.NumGroups(); gi++ {
+		if err := shell.SetGroup(gi, d.Group(gi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, r2 := d.Reconstruct(), shell.Reconstruct()
+	if e := maxAbsDiff(r1, r2); e != 0 {
+		t.Fatalf("shell reconstruction differs by %g", e)
+	}
+}
+
+func TestSetGroupRejectsWrongSize(t *testing.T) {
+	g := grid.MustNew(8)
+	d, _ := Decompose(make([]float64, 8), g, Hierarchical)
+	if err := d.SetGroup(0, []float64{1, 2, 3, 4, 5, 6, 7}); err == nil {
+		t.Fatal("wrong group size accepted")
+	}
+}
+
+func TestNewShellMatchesDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := grid.MustNew(7, 11)
+	data := randField(rng, g.Size())
+	d, _ := Decompose(data, g, Hierarchical)
+	shell := NewShell(g, Hierarchical)
+	if shell.NumGroups() != d.NumGroups() || shell.Steps != d.Steps {
+		t.Fatalf("shell shape mismatch: %d/%d groups", shell.NumGroups(), d.NumGroups())
+	}
+	for gi := 0; gi < d.NumGroups(); gi++ {
+		if shell.GroupSize(gi) != d.GroupSize(gi) {
+			t.Fatalf("group %d size mismatch", gi)
+		}
+		if err := shell.SetGroup(gi, d.Group(gi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := maxAbsDiff(d.Reconstruct(), shell.Reconstruct()); e != 0 {
+		t.Fatalf("NewShell reconstruction differs by %g", e)
+	}
+}
+
+// TestErrorBoundSound perturbs every group by a known amount and checks the
+// reconstruction error never exceeds ErrorBound.
+func TestErrorBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dims := range [][]int{{33}, {16, 17}, {9, 9, 9}} {
+		g := grid.MustNew(dims...)
+		data := smoothField(g)
+		for _, basis := range []Basis{Hierarchical, Orthogonal} {
+			d, err := Decompose(data, g, basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := d.Reconstruct()
+			for trial := 0; trial < 5; trial++ {
+				pert := d.Shell()
+				bounds := make([]float64, d.NumGroups())
+				for gi := 0; gi < d.NumGroups(); gi++ {
+					eb := math.Pow(10, float64(rng.Intn(5))-4) // 1e-4..1e0
+					bounds[gi] = eb
+					grp := d.Group(gi)
+					for i := range grp {
+						grp[i] += (rng.Float64()*2 - 1) * eb
+					}
+					if err := pert.SetGroup(gi, grp); err != nil {
+						t.Fatal(err)
+					}
+				}
+				bound, err := d.ErrorBound(bounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := pert.Reconstruct()
+				actual := maxAbsDiff(exact, rec)
+				if actual > bound*(1+1e-9) {
+					t.Errorf("%v %v trial %d: actual %g > bound %g", dims, basis, trial, actual, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestErrorBoundHBTighterThanOB(t *testing.T) {
+	g := grid.MustNew(65)
+	data := smoothField(g)
+	bounds := func(d *Decomposition) []float64 {
+		b := make([]float64, d.NumGroups())
+		for i := range b {
+			b[i] = 1e-3
+		}
+		return b
+	}
+	hb, _ := Decompose(data, g, Hierarchical)
+	ob, _ := Decompose(data, g, Orthogonal)
+	bh, _ := hb.ErrorBound(bounds(hb))
+	bo, _ := ob.ErrorBound(bounds(ob))
+	if bh >= bo {
+		t.Fatalf("HB bound %g should be tighter than OB bound %g", bh, bo)
+	}
+}
+
+func TestErrorBoundWrongLength(t *testing.T) {
+	g := grid.MustNew(16)
+	d, _ := Decompose(make([]float64, 16), g, Hierarchical)
+	if _, err := d.ErrorBound([]float64{1}); err == nil {
+		t.Fatal("wrong bounds length accepted")
+	}
+}
+
+// TestOBDecaysCoefficientsOnSmoothData checks the transform decorrelates:
+// detail coefficients of a smooth field must be much smaller than the data.
+func TestCoefficientDecay(t *testing.T) {
+	g := grid.MustNew(129)
+	data := smoothField(g)
+	for _, basis := range []Basis{Hierarchical, Orthogonal} {
+		d, _ := Decompose(data, g, basis)
+		finest := d.Group(d.NumGroups() - 1)
+		coarsest := d.Group(0)
+		if maxAbs(finest) > maxAbs(coarsest)/10 {
+			t.Errorf("%v: finest details %g not small vs coarsest %g", basis, maxAbs(finest), maxAbs(coarsest))
+		}
+	}
+}
+
+func TestSingleElementGrid(t *testing.T) {
+	g := grid.MustNew(1)
+	d, err := Decompose([]float64{42}, g, Orthogonal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumGroups() != 1 {
+		t.Fatalf("groups = %d", d.NumGroups())
+	}
+	if got := d.Reconstruct(); got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGroupLevelMapping(t *testing.T) {
+	g := grid.MustNew(17) // 5 levels → 4 steps
+	d, _ := Decompose(make([]float64, 17), g, Hierarchical)
+	if d.Steps != 4 {
+		t.Fatalf("steps = %d", d.Steps)
+	}
+	if d.GroupLevel(0) != -1 {
+		t.Fatal("coarsest group level should be -1")
+	}
+	if d.GroupLevel(1) != 3 || d.GroupLevel(4) != 0 {
+		t.Fatalf("levels: %d %d", d.GroupLevel(1), d.GroupLevel(4))
+	}
+	// Group sizes: coarsest 2 nodes (0,16), then 1, 2, 4, 8.
+	wantSizes := []int{2, 1, 2, 4, 8}
+	for gi, want := range wantSizes {
+		if got := d.GroupSize(gi); got != want {
+			t.Errorf("group %d size = %d, want %d", gi, got, want)
+		}
+	}
+}
+
+func TestPropertyRoundTripQuick(t *testing.T) {
+	f := func(seed int64, dsel uint8, basisSel bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := testShapes[int(dsel)%len(testShapes)]
+		g := grid.MustNew(dims...)
+		data := randField(rng, g.Size())
+		basis := Hierarchical
+		if basisSel {
+			basis = Orthogonal
+		}
+		d, err := Decompose(data, g, basis)
+		if err != nil {
+			return false
+		}
+		rec := d.Reconstruct()
+		return maxAbsDiff(data, rec) <= 1e-9*(1+maxAbs(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasisString(t *testing.T) {
+	if Hierarchical.String() != "HB" || Orthogonal.String() != "OB" {
+		t.Fatal("basis names")
+	}
+	if Basis(9).String() != "Basis(9)" {
+		t.Fatal("unknown basis name")
+	}
+}
+
+func BenchmarkDecomposeHB64x64x64(b *testing.B) {
+	g := grid.MustNew(64, 64, 64)
+	data := smoothField(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(data, g, Hierarchical); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeOB64x64x64(b *testing.B) {
+	g := grid.MustNew(64, 64, 64)
+	data := smoothField(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(data, g, Orthogonal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package mgard
+
+import (
+	"math/rand"
+	"testing"
+
+	"progqoi/internal/grid"
+)
+
+func TestReconstructToLevelZeroEqualsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := grid.MustNew(17, 9)
+	data := randField(rng, g.Size())
+	for _, basis := range []Basis{Hierarchical, Orthogonal} {
+		d, err := Decompose(data, g, basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := d.Reconstruct()
+		lvl0, cg, err := d.ReconstructToLevel(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cg.Equal(g) {
+			t.Fatalf("%v: level-0 grid %v != %v", basis, cg.Dims(), g.Dims())
+		}
+		if e := maxAbsDiff(full, lvl0); e != 0 {
+			t.Fatalf("%v: level-0 differs from full by %g", basis, e)
+		}
+	}
+}
+
+func TestHBCoarseLevelsSubsampleOriginal(t *testing.T) {
+	// Under the hierarchical basis, the level-l reconstruction must equal
+	// the original values at the level-l lattice nodes exactly (up to
+	// round-off): finer detail levels never touch coarse nodes.
+	rng := rand.New(rand.NewSource(42))
+	for _, dims := range [][]int{{33}, {17, 12}, {9, 8, 7}} {
+		g := grid.MustNew(dims...)
+		data := randField(rng, g.Size())
+		d, err := Decompose(data, g, Hierarchical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l <= d.Steps; l++ {
+			coarse, cg, err := d.ReconstructToLevel(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stride := grid.LevelStride(l)
+			wantDims := make([]int, len(dims))
+			for i, e := range dims {
+				wantDims[i] = (e + stride - 1) / stride
+			}
+			if !cg.Equal(grid.MustNew(wantDims...)) {
+				t.Fatalf("%v level %d: coarse dims %v, want %v", dims, l, cg.Dims(), wantDims)
+			}
+			// Compare against direct subsampling of the original.
+			idx := 0
+			var walk func(dim, off int)
+			var fail bool
+			walk = func(dim, off int) {
+				if fail {
+					return
+				}
+				if dim == len(dims) {
+					if diff := coarse[idx] - data[off]; diff > 1e-9 || diff < -1e-9 {
+						t.Errorf("%v level %d: node %d differs by %g", dims, l, idx, diff)
+						fail = true
+					}
+					idx++
+					return
+				}
+				for c := 0; c < g.Dim(dim); c += stride {
+					walk(dim+1, off+c*g.Stride(dim))
+				}
+			}
+			walk(0, 0)
+		}
+	}
+}
+
+func TestReconstructToLevelValidates(t *testing.T) {
+	g := grid.MustNew(16)
+	d, _ := Decompose(make([]float64, 16), g, Hierarchical)
+	if _, _, err := d.ReconstructToLevel(-1); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	if _, _, err := d.ReconstructToLevel(d.Steps + 1); err == nil {
+		t.Fatal("level beyond steps accepted")
+	}
+}
+
+func TestOBCoarseLevelIsSmoothedProjection(t *testing.T) {
+	// OB coarse values are L2 projections, not subsamples: they generally
+	// differ from the original nodal values but remain close for smooth
+	// data.
+	g := grid.MustNew(65)
+	data := smoothField(g)
+	d, _ := Decompose(data, g, Orthogonal)
+	coarse, cg, err := d.ReconstructToLevel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Dim(0) != 17 {
+		t.Fatalf("coarse dim = %d", cg.Dim(0))
+	}
+	maxDiff, anyDiff := 0.0, false
+	for i, v := range coarse {
+		orig := data[i*4]
+		diff := v - orig
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0 {
+			anyDiff = true
+		}
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	if !anyDiff {
+		t.Fatal("OB projection should differ from plain subsampling")
+	}
+	rangeScale := 6.0 // smoothField amplitude
+	if maxDiff > 0.5*rangeScale {
+		t.Fatalf("OB projection wildly off: %g", maxDiff)
+	}
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTransferTimeBasic(t *testing.T) {
+	l := Link{BandwidthBps: 1e9, LatencySec: 0.1}
+	// One stream: 1 GB at 1 GB/s + 0.1 s latency = 1.1 s.
+	got := l.TransferTime(1e9, 1)
+	want := 1100 * time.Millisecond
+	if d := got - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Two streams halve the per-stream bandwidth.
+	got2 := l.TransferTime(1e9, 2)
+	want2 := 2100 * time.Millisecond
+	if d := got2 - want2; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("got %v, want %v", got2, want2)
+	}
+}
+
+func TestTransferTimeDegenerate(t *testing.T) {
+	l := Link{BandwidthBps: 1e9, LatencySec: 0}
+	if l.TransferTime(0, 1) != 0 {
+		t.Fatal("zero bytes zero latency should be instant")
+	}
+	if l.TransferTime(-5, 0) != 0 {
+		t.Fatal("negative bytes should clamp")
+	}
+}
+
+func TestDefaultGlobusBaseline(t *testing.T) {
+	// The paper's raw baseline: 4.67 GB over 96 workers ≈ 11.7 s.
+	got := RawTransferTime(4.67e9, 96, DefaultGlobusLink)
+	if got < 10*time.Second || got > 14*time.Second {
+		t.Fatalf("raw baseline %v, want ≈11.7 s", got)
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	res, err := Run(8, 4, Link{BandwidthBps: 1e9, LatencySec: 0.01}, func(b int, rec *Recorder) error {
+		rec.Observe(0, int64(1000*(b+1)))
+		rec.Observe(1, 500)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for b := 0; b < 8; b++ {
+		want += int64(1000*(b+1)) + 500
+	}
+	if res.TotalBytes != want {
+		t.Fatalf("TotalBytes = %d, want %d", res.TotalBytes, want)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("makespan should be positive")
+	}
+	for _, b := range res.Blocks {
+		if b.Requests != 2 {
+			t.Fatalf("block %d requests = %d", b.Block, b.Requests)
+		}
+		if b.TotalTime < b.LinkTime {
+			t.Fatal("total < link time")
+		}
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(4, 2, DefaultGlobusLink, func(b int, rec *Recorder) error {
+		if b == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(0, 1, DefaultGlobusLink, nil); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+}
+
+func TestRunWorkerClamp(t *testing.T) {
+	// More workers than blocks must not deadlock or drop blocks.
+	res, err := Run(3, 100, Link{BandwidthBps: 1e9}, func(b int, rec *Recorder) error {
+		rec.Observe(0, 10)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 30 {
+		t.Fatalf("TotalBytes = %d", res.TotalBytes)
+	}
+}
+
+func TestFewerBytesFasterMakespan(t *testing.T) {
+	run := func(perBlock int64) time.Duration {
+		res, err := Run(16, 8, DefaultGlobusLink, func(b int, rec *Recorder) error {
+			rec.Observe(0, perBlock)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if small, big := run(1e6), run(1e8); small >= big {
+		t.Fatalf("smaller transfers should finish earlier: %v vs %v", small, big)
+	}
+}

@@ -1,0 +1,248 @@
+package progressive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"progqoi/internal/bitplane"
+	"progqoi/internal/encoding"
+	"progqoi/internal/mgard"
+)
+
+// Marshal serializes the representation: a metadata header followed by all
+// fragments, each framed. The layout is self-describing and validated by
+// Unmarshal.
+func (r *Refactored) Marshal() []byte {
+	var hdr []byte
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		hdr = append(hdr, tmp[:4]...)
+	}
+	put64 := func(v float64) {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		hdr = append(hdr, tmp[:]...)
+	}
+	put32(uint32(r.Method))
+	put32(uint32(len(r.Dims)))
+	for _, d := range r.Dims {
+		put32(uint32(d))
+	}
+	put32(uint32(len(r.PrefixBounds)))
+	for _, b := range r.PrefixBounds {
+		put64(b)
+	}
+	put32(uint32(len(r.SnapshotEBs)))
+	for _, b := range r.SnapshotEBs {
+		put64(b)
+	}
+	if r.HasTail {
+		put32(1)
+	} else {
+		put32(0)
+	}
+	put32(uint32(r.Basis))
+	put32(uint32(r.Planes))
+	put32(uint32(len(r.Schedule)))
+	for _, s := range r.Schedule {
+		put32(uint32(s.Group))
+		put32(uint32(s.Plane))
+	}
+	put32(uint32(len(r.Blocks)))
+	for _, blk := range r.Blocks {
+		put32(uint32(blk.N))
+		put32(uint32(int32(blk.Exp)))
+		put32(uint32(blk.B))
+	}
+
+	out := encoding.PutSection(nil, hdr)
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(r.Fragments)))
+	out = append(out, cnt[:]...)
+	for _, f := range r.Fragments {
+		out = encoding.PutSection(out, f)
+	}
+	return out
+}
+
+// MetadataBytes returns the size of the marshalled metadata header — the
+// upfront cost a retrieval session pays before any fragment.
+func (r *Refactored) MetadataBytes() int64 {
+	return int64(len(r.Marshal())) - r.TotalBytes() - 4*int64(len(r.Fragments)) - 4
+}
+
+// Unmarshal parses Marshal output.
+func Unmarshal(data []byte) (*Refactored, error) {
+	hdr, n, err := encoding.GetSection(data)
+	if err != nil {
+		return nil, err
+	}
+	off := 0
+	get32 := func() (uint32, error) {
+		if off+4 > len(hdr) {
+			return 0, fmt.Errorf("%w: refactored header truncated", encoding.ErrCorrupt)
+		}
+		v := binary.LittleEndian.Uint32(hdr[off:])
+		off += 4
+		return v, nil
+	}
+	get64 := func() (float64, error) {
+		if off+8 > len(hdr) {
+			return 0, fmt.Errorf("%w: refactored header truncated", encoding.ErrCorrupt)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(hdr[off:]))
+		off += 8
+		return v, nil
+	}
+	r := &Refactored{}
+	m, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	r.Method = Method(m)
+	if r.Method < PSZ3 || r.Method > PMGARDHB {
+		return nil, fmt.Errorf("%w: method %d", encoding.ErrCorrupt, m)
+	}
+	nd, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if nd < 1 || nd > 16 {
+		return nil, fmt.Errorf("%w: rank %d", encoding.ErrCorrupt, nd)
+	}
+	r.Dims = make([]int, nd)
+	for i := range r.Dims {
+		v, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		r.Dims[i] = int(v)
+	}
+	np, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if np > 1<<24 {
+		return nil, fmt.Errorf("%w: %d prefix bounds", encoding.ErrCorrupt, np)
+	}
+	r.PrefixBounds = make([]float64, np)
+	for i := range r.PrefixBounds {
+		if r.PrefixBounds[i], err = get64(); err != nil {
+			return nil, err
+		}
+	}
+	ns, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if ns > 1<<16 {
+		return nil, fmt.Errorf("%w: %d snapshot bounds", encoding.ErrCorrupt, ns)
+	}
+	r.SnapshotEBs = make([]float64, ns)
+	for i := range r.SnapshotEBs {
+		if r.SnapshotEBs[i], err = get64(); err != nil {
+			return nil, err
+		}
+	}
+	tail, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	r.HasTail = tail == 1
+	basis, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	r.Basis = mgard.Basis(basis)
+	planes, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	r.Planes = int(planes)
+	nsch, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if nsch > 1<<24 {
+		return nil, fmt.Errorf("%w: %d schedule entries", encoding.ErrCorrupt, nsch)
+	}
+	r.Schedule = make([]fragRef, nsch)
+	for i := range r.Schedule {
+		g, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		p, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		r.Schedule[i] = fragRef{Group: int(g), Plane: int(p)}
+	}
+	nblk, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if nblk > 1<<16 {
+		return nil, fmt.Errorf("%w: %d blocks", encoding.ErrCorrupt, nblk)
+	}
+	r.Blocks = make([]*bitplane.Block, nblk)
+	for i := range r.Blocks {
+		nc, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		exp, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if b > 62 {
+			return nil, fmt.Errorf("%w: block %d planes %d", encoding.ErrCorrupt, i, b)
+		}
+		r.Blocks[i] = &bitplane.Block{
+			N:      int(nc),
+			Exp:    int(int32(exp)),
+			B:      int(b),
+			Planes: make([][]byte, int(b)),
+		}
+	}
+	// Validate schedule references.
+	for _, s := range r.Schedule {
+		if s.Group < 0 || s.Group >= len(r.Blocks) || s.Plane < 0 || s.Plane >= r.Blocks[s.Group].B {
+			return nil, fmt.Errorf("%w: schedule entry %v out of range", encoding.ErrCorrupt, s)
+		}
+	}
+
+	rest := data[n:]
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: fragment count truncated", encoding.ErrCorrupt)
+	}
+	nfrag := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if nfrag < 0 || nfrag > 1<<24 {
+		return nil, fmt.Errorf("%w: %d fragments", encoding.ErrCorrupt, nfrag)
+	}
+	if len(r.PrefixBounds) != nfrag {
+		return nil, fmt.Errorf("%w: %d bounds for %d fragments", encoding.ErrCorrupt, len(r.PrefixBounds), nfrag)
+	}
+	switch r.Method {
+	case PMGARD, PMGARDHB:
+		if len(r.Schedule) != nfrag {
+			return nil, fmt.Errorf("%w: %d schedule entries for %d fragments", encoding.ErrCorrupt, len(r.Schedule), nfrag)
+		}
+	}
+	r.Fragments = make([][]byte, nfrag)
+	for i := range r.Fragments {
+		f, m, err := encoding.GetSection(rest)
+		if err != nil {
+			return nil, err
+		}
+		r.Fragments[i] = f
+		rest = rest[m:]
+	}
+	return r, nil
+}

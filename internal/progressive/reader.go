@@ -1,0 +1,290 @@
+package progressive
+
+import (
+	"fmt"
+	"math"
+
+	"progqoi/internal/bitplane"
+	"progqoi/internal/encoding"
+	"progqoi/internal/grid"
+	"progqoi/internal/mgard"
+	"progqoi/internal/sz"
+)
+
+// FetchFunc observes fragment retrieval: it is invoked once per fragment
+// with its byte size before the fragment is ingested. The network simulator
+// and the byte accounting hook in here. A nil FetchFunc is allowed.
+type FetchFunc func(fragIndex int, size int64)
+
+// Reader incrementally retrieves a Refactored variable. It implements the
+// paper's progressive_construct: each Advance ingests just enough additional
+// fragments to guarantee the requested L∞ bound, reusing everything already
+// retrieved.
+type Reader struct {
+	src   *Refactored
+	fetch FetchFunc
+
+	nextFrag  int
+	bound     float64
+	retrieved int64
+
+	// Snapshot reconstruction state.
+	data  []float64
+	dirty bool
+
+	// PMGARD state.
+	blocks []*bitplane.Block
+	decs   []*bitplane.Decoder
+	shell  *mgard.Decomposition
+	grd    *grid.Grid
+}
+
+// NewReader opens a reader over r. No fragments are fetched yet; Bound()
+// starts at the no-data bound and Data() returns zeros.
+func NewReader(r *Refactored, fetch FetchFunc) (*Reader, error) {
+	g, err := grid.New(r.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	rd := &Reader{src: r, fetch: fetch, grd: g, bound: math.Inf(1), dirty: true}
+	switch r.Method {
+	case PSZ3, PSZ3Delta:
+		rd.data = make([]float64, g.Size())
+	case PMGARD, PMGARDHB:
+		shell := mgard.NewShell(g, r.Basis)
+		if shell.NumGroups() != len(r.Blocks) {
+			return nil, fmt.Errorf("%w: %d blocks for %d groups", encoding.ErrCorrupt, len(r.Blocks), shell.NumGroups())
+		}
+		rd.shell = shell
+		rd.decs = make([]*bitplane.Decoder, len(r.Blocks))
+		// Each reader gets private copies of the block metadata: ingesting
+		// a fragment reattaches its payload to the block, and concurrent
+		// readers over one Refactored must not share that mutable state.
+		rd.blocks = make([]*bitplane.Block, len(r.Blocks))
+		for i, blk := range r.Blocks {
+			if blk.N != shell.GroupSize(i) {
+				return nil, fmt.Errorf("%w: block %d has %d coefficients, want %d", encoding.ErrCorrupt, i, blk.N, shell.GroupSize(i))
+			}
+			cp := *blk
+			cp.Planes = make([][]byte, len(blk.Planes))
+			copy(cp.Planes, blk.Planes)
+			rd.blocks[i] = &cp
+			rd.decs[i] = bitplane.NewDecoder(rd.blocks[i])
+		}
+		rd.bound = rd.pmgardBound()
+	default:
+		return nil, fmt.Errorf("progressive: unknown method %d", r.Method)
+	}
+	return rd, nil
+}
+
+// Bound returns the current guaranteed L∞ bound of Data() versus the
+// original field. Before any fragment arrives it is +Inf for snapshot
+// methods and the zero-data bound for PMGARD methods.
+func (rd *Reader) Bound() float64 { return rd.bound }
+
+// RetrievedBytes returns the cumulative fragment bytes fetched so far.
+func (rd *Reader) RetrievedBytes() int64 { return rd.retrieved }
+
+// Exhausted reports whether every fragment has been ingested.
+func (rd *Reader) Exhausted() bool { return rd.nextFrag >= len(rd.src.Fragments) }
+
+// Advance ingests fragments until the guaranteed bound is ≤ target or the
+// representation is exhausted. target must be non-negative. It returns the
+// achieved bound.
+func (rd *Reader) Advance(target float64) (float64, error) {
+	if target < 0 || math.IsNaN(target) {
+		return rd.bound, fmt.Errorf("%w: target %g", ErrBadRequest, target)
+	}
+	if rd.bound <= target {
+		return rd.bound, nil
+	}
+	switch rd.src.Method {
+	case PSZ3:
+		return rd.advancePSZ3(target)
+	case PSZ3Delta:
+		return rd.advanceDelta(target)
+	default:
+		return rd.advancePMGARD(target)
+	}
+}
+
+func (rd *Reader) ingest(i int) []byte {
+	f := rd.src.Fragments[i]
+	if rd.fetch != nil {
+		rd.fetch(i, int64(len(f)))
+	}
+	rd.retrieved += int64(len(f))
+	return f
+}
+
+// advancePSZ3 picks the loosest snapshot meeting target and fetches it
+// (skipping, but not fetching, looser ones). Re-fetching tighter snapshots
+// later duplicates bytes — PSZ3's inherent redundancy.
+func (rd *Reader) advancePSZ3(target float64) (float64, error) {
+	want := -1
+	for i := rd.nextFrag; i < len(rd.src.Fragments); i++ {
+		if rd.src.PrefixBounds[i] <= target {
+			want = i
+			break
+		}
+	}
+	if want < 0 {
+		// Tightest available still above target: take the last snapshot.
+		want = len(rd.src.Fragments) - 1
+	}
+	if want < rd.nextFrag {
+		return rd.bound, nil
+	}
+	buf := rd.ingest(want)
+	if rd.src.HasTail && want == len(rd.src.Fragments)-1 {
+		vals, err := decodeLossless(buf, rd.grd.Size())
+		if err != nil {
+			return rd.bound, err
+		}
+		copy(rd.data, vals)
+		rd.bound = 0
+	} else {
+		dec, g, eb, err := sz.Decompress(buf)
+		if err != nil {
+			return rd.bound, err
+		}
+		if !g.Equal(rd.grd) {
+			return rd.bound, fmt.Errorf("%w: snapshot grid %v, want %v", encoding.ErrCorrupt, g.Dims(), rd.grd.Dims())
+		}
+		copy(rd.data, dec)
+		rd.bound = eb
+	}
+	rd.nextFrag = want + 1
+	return rd.bound, nil
+}
+
+// advanceDelta fetches residual snapshots in order until target is met.
+func (rd *Reader) advanceDelta(target float64) (float64, error) {
+	for rd.bound > target && rd.nextFrag < len(rd.src.Fragments) {
+		i := rd.nextFrag
+		buf := rd.ingest(i)
+		if rd.src.HasTail && i == len(rd.src.Fragments)-1 {
+			res, err := decodeLossless(buf, rd.grd.Size())
+			if err != nil {
+				return rd.bound, err
+			}
+			for j := range rd.data {
+				rd.data[j] += res[j]
+			}
+			rd.bound = 0
+		} else {
+			dec, g, eb, err := sz.Decompress(buf)
+			if err != nil {
+				return rd.bound, err
+			}
+			if !g.Equal(rd.grd) {
+				return rd.bound, fmt.Errorf("%w: snapshot grid %v, want %v", encoding.ErrCorrupt, g.Dims(), rd.grd.Dims())
+			}
+			for j := range rd.data {
+				rd.data[j] += dec[j]
+			}
+			rd.bound = eb
+		}
+		rd.nextFrag = i + 1
+	}
+	return rd.bound, nil
+}
+
+// advancePMGARD streams scheduled plane fragments until target is met.
+func (rd *Reader) advancePMGARD(target float64) (float64, error) {
+	for rd.bound > target && rd.nextFrag < len(rd.src.Fragments) {
+		i := rd.nextFrag
+		ref := rd.src.Schedule[i]
+		buf := rd.ingest(i)
+		blk := rd.blocks[ref.Group]
+		// Reattach the fragment payload to the metadata block so the
+		// decoder can see it.
+		if ref.Plane == 0 {
+			signs, n, err := encoding.GetSection(buf)
+			if err != nil {
+				return rd.bound, err
+			}
+			plane, _, err := encoding.GetSection(buf[n:])
+			if err != nil {
+				return rd.bound, err
+			}
+			blk.Signs = signs
+			blk.Planes[0] = plane
+		} else {
+			plane, _, err := encoding.GetSection(buf)
+			if err != nil {
+				return rd.bound, err
+			}
+			blk.Planes[ref.Plane] = plane
+		}
+		if err := rd.decs[ref.Group].Advance(ref.Plane + 1); err != nil {
+			return rd.bound, err
+		}
+		rd.nextFrag = i + 1
+		rd.bound = rd.src.PrefixBounds[i]
+		rd.dirty = true
+	}
+	if rd.bound > target && rd.Exhausted() {
+		// Everything retrieved: the bound is the residual truncation bound.
+		rd.bound = rd.pmgardBound()
+	}
+	return rd.bound, nil
+}
+
+func (rd *Reader) pmgardBound() float64 {
+	factors := rd.shell.LevelFactors()
+	total, slack := 0.0, 0.0
+	for i, dec := range rd.decs {
+		total += factors[i] * dec.Bound()
+		// Same floating-point slack the refactorer bakes into PrefixBounds.
+		if s := rd.blocks[i].Bound(0) * math.Ldexp(1, -46); s > slack {
+			slack = s
+		}
+	}
+	return total + slack
+}
+
+// DataAtResolution reconstructs the current approximation at a reduced
+// resolution: level 0 is full resolution, each higher level halves every
+// dimension (PMGARD's progression-in-resolution, available alongside the
+// precision progression). Only PMGARD-family readers support it. It returns
+// the coarse field and its dims.
+func (rd *Reader) DataAtResolution(level int) ([]float64, []int, error) {
+	switch rd.src.Method {
+	case PMGARD, PMGARDHB:
+	default:
+		return nil, nil, fmt.Errorf("progressive: %v does not support resolution progression", rd.src.Method)
+	}
+	for gi, dec := range rd.decs {
+		if err := rd.shell.SetGroup(gi, dec.Values()); err != nil {
+			return nil, nil, err
+		}
+	}
+	rd.dirty = true // shell coefficients were touched; Data() must rebuild
+	vals, g, err := rd.shell.ReconstructToLevel(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, g.Dims(), nil
+}
+
+// Data returns the current reconstruction. The returned slice is owned by
+// the reader; callers must copy it if they mutate.
+func (rd *Reader) Data() ([]float64, error) {
+	switch rd.src.Method {
+	case PSZ3, PSZ3Delta:
+		return rd.data, nil
+	default:
+		if rd.dirty {
+			for gi, dec := range rd.decs {
+				if err := rd.shell.SetGroup(gi, dec.Values()); err != nil {
+					return nil, err
+				}
+			}
+			rd.data = rd.shell.Reconstruct()
+			rd.dirty = false
+		}
+		return rd.data, nil
+	}
+}

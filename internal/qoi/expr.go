@@ -1,0 +1,441 @@
+// Package qoi implements the paper's theory of derivable quantities of
+// interest (§IV): an expression tree over the basis of Table II
+// (polynomials, square root, radical, addition, multiplication, division,
+// and functional composition), with two operations per node:
+//
+//   - Eval: the QoI value at a reconstructed data point, and
+//   - Bound: the guaranteed supremum Δ(f, x, ε) of the QoI error given the
+//     reconstructed values x and the L∞ error bounds ε used during
+//     retrieval (Definitions 4–5).
+//
+// Bound implements Theorems 1 (polynomial), 2 (square root), 3 (radical),
+// 4 (addition), 5 (multiplication), 6 (division), 7–8 (additive /
+// multiplicative closure) and 9 with Lemmas 1–2 (composition) — composition
+// is simply the recursion over the tree, with each node receiving its
+// children's (value, bound) pairs.
+//
+// A node whose theorem precondition fails (ε ≥ |x₂| in division, ε ≥ |x+c|
+// in the radical, or a negative radicand) reports a +Inf bound; the
+// retrieval loop reacts by tightening primary-data bounds (or masking
+// exact-zero points, §V-A). A zero incoming bound always yields a zero
+// outgoing bound, so retrieval at full fidelity terminates.
+package qoi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Expr is a derivable QoI over a vector of variables addressed by index.
+type Expr interface {
+	// Eval computes the QoI at vals.
+	Eval(vals []float64) float64
+	// Bound computes the QoI value at the reconstructed vals and the
+	// guaranteed error supremum given per-variable L∞ bounds ebs. The bound
+	// is +Inf when a theorem precondition fails at this point.
+	Bound(vals, ebs []float64) (value, bound float64)
+	// MaxVar returns the largest variable index used (-1 for constants).
+	MaxVar() int
+	// String renders the expression.
+	String() string
+}
+
+// Var references input variable i.
+type Var struct{ Index int }
+
+// Eval implements Expr.
+func (v Var) Eval(vals []float64) float64 { return vals[v.Index] }
+
+// Bound implements Expr: a variable's error is its retrieval bound.
+func (v Var) Bound(vals, ebs []float64) (float64, float64) {
+	return vals[v.Index], ebs[v.Index]
+}
+
+// MaxVar implements Expr.
+func (v Var) MaxVar() int { return v.Index }
+
+// String implements Expr.
+func (v Var) String() string { return fmt.Sprintf("x%d", v.Index) }
+
+// Const is a constant (zero error).
+type Const struct{ C float64 }
+
+// Eval implements Expr.
+func (c Const) Eval([]float64) float64 { return c.C }
+
+// Bound implements Expr.
+func (c Const) Bound([]float64, []float64) (float64, float64) { return c.C, 0 }
+
+// MaxVar implements Expr.
+func (c Const) MaxVar() int { return -1 }
+
+// String implements Expr.
+func (c Const) String() string { return trimFloat(c.C) }
+
+// Sum is the weighted sum Σ wᵢ·termᵢ (Theorems 4, 7, 8).
+type Sum struct {
+	Weights []float64
+	Terms   []Expr
+}
+
+// Add builds an unweighted sum.
+func Add(terms ...Expr) Expr {
+	w := make([]float64, len(terms))
+	for i := range w {
+		w[i] = 1
+	}
+	return Sum{Weights: w, Terms: terms}
+}
+
+// Sub builds a − b.
+func Sub(a, b Expr) Expr { return Sum{Weights: []float64{1, -1}, Terms: []Expr{a, b}} }
+
+// Scale builds w·x (Theorem 8).
+func Scale(w float64, x Expr) Expr { return Sum{Weights: []float64{w}, Terms: []Expr{x}} }
+
+// Eval implements Expr.
+func (s Sum) Eval(vals []float64) float64 {
+	acc := 0.0
+	for i, t := range s.Terms {
+		acc += s.Weights[i] * t.Eval(vals)
+	}
+	return acc
+}
+
+// Bound implements Expr: Δ(Σwᵢfᵢ) ≤ Σ|wᵢ|Δ(fᵢ).
+func (s Sum) Bound(vals, ebs []float64) (float64, float64) {
+	acc, d := 0.0, 0.0
+	for i, t := range s.Terms {
+		v, dv := t.Bound(vals, ebs)
+		acc += s.Weights[i] * v
+		d += math.Abs(s.Weights[i]) * dv
+	}
+	return acc, d
+}
+
+// MaxVar implements Expr.
+func (s Sum) MaxVar() int {
+	m := -1
+	for _, t := range s.Terms {
+		if v := t.MaxVar(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String implements Expr.
+func (s Sum) String() string {
+	var b strings.Builder
+	for i, t := range s.Terms {
+		w := s.Weights[i]
+		if i == 0 {
+			if w == 1 {
+				b.WriteString(t.String())
+			} else if w == -1 {
+				fmt.Fprintf(&b, "-%s", t.String())
+			} else {
+				fmt.Fprintf(&b, "%s*%s", trimFloat(w), t.String())
+			}
+			continue
+		}
+		switch {
+		case w == 1:
+			fmt.Fprintf(&b, " + %s", t.String())
+		case w == -1:
+			fmt.Fprintf(&b, " - %s", t.String())
+		case w < 0:
+			fmt.Fprintf(&b, " - %s*%s", trimFloat(-w), t.String())
+		default:
+			fmt.Fprintf(&b, " + %s*%s", trimFloat(w), t.String())
+		}
+	}
+	return "(" + b.String() + ")"
+}
+
+// Mul is the product of two QoIs (Theorem 5; n-ary products fold pairwise
+// via Theorem 9's composition).
+type Mul struct{ A, B Expr }
+
+// Product folds factors left-to-right into nested Mul nodes.
+func Product(factors ...Expr) Expr {
+	if len(factors) == 0 {
+		return Const{1}
+	}
+	e := factors[0]
+	for _, f := range factors[1:] {
+		e = Mul{A: e, B: f}
+	}
+	return e
+}
+
+// Eval implements Expr.
+func (m Mul) Eval(vals []float64) float64 { return m.A.Eval(vals) * m.B.Eval(vals) }
+
+// Bound implements Expr: Δ(x₁x₂) ≤ |x₁|ε₂ + |x₂|ε₁ + ε₁ε₂.
+func (m Mul) Bound(vals, ebs []float64) (float64, float64) {
+	va, da := m.A.Bound(vals, ebs)
+	vb, db := m.B.Bound(vals, ebs)
+	return va * vb, math.Abs(va)*db + math.Abs(vb)*da + da*db
+}
+
+// MaxVar implements Expr.
+func (m Mul) MaxVar() int { return max(m.A.MaxVar(), m.B.MaxVar()) }
+
+// String implements Expr.
+func (m Mul) String() string { return fmt.Sprintf("(%s * %s)", m.A, m.B) }
+
+// Div is the quotient of two QoIs (Theorem 6).
+type Div struct{ Num, Den Expr }
+
+// Eval implements Expr.
+func (d Div) Eval(vals []float64) float64 { return d.Num.Eval(vals) / d.Den.Eval(vals) }
+
+// Bound implements Expr: Δ(x₁/x₂) ≤ (|x₁|ε₂+|x₂|ε₁) / (|x₂|·min(|x₂−ε₂|,|x₂+ε₂|))
+// valid only while ε₂ < |x₂|.
+func (d Div) Bound(vals, ebs []float64) (float64, float64) {
+	vn, dn := d.Num.Bound(vals, ebs)
+	vd, dd := d.Den.Bound(vals, ebs)
+	val := vn / vd
+	if dn == 0 && dd == 0 {
+		return val, 0
+	}
+	if !(dd < math.Abs(vd)) {
+		return val, math.Inf(1)
+	}
+	den := math.Abs(vd) * math.Min(math.Abs(vd-dd), math.Abs(vd+dd))
+	return val, (math.Abs(vn)*dd + math.Abs(vd)*dn) / den
+}
+
+// MaxVar implements Expr.
+func (d Div) MaxVar() int { return max(d.Num.MaxVar(), d.Den.MaxVar()) }
+
+// String implements Expr.
+func (d Div) String() string { return fmt.Sprintf("(%s / %s)", d.Num, d.Den) }
+
+// Pow is the integer power xⁿ, n ≥ 1 (Theorem 1 for a monomial).
+type Pow struct {
+	N int
+	X Expr
+}
+
+// Eval implements Expr.
+func (p Pow) Eval(vals []float64) float64 { return intPow(p.X.Eval(vals), p.N) }
+
+// Bound implements Expr: Δ(xⁿ) ≤ Σᵢ₌₁ⁿ C(n,i)|x|ⁿ⁻ⁱ εⁱ.
+func (p Pow) Bound(vals, ebs []float64) (float64, float64) {
+	v, d := p.X.Bound(vals, ebs)
+	return intPow(v, p.N), powBound(v, d, p.N)
+}
+
+func powBound(v, d float64, n int) float64 {
+	if d == 0 {
+		return 0
+	}
+	av := math.Abs(v)
+	bound := 0.0
+	c := 1.0 // C(n,i) built incrementally
+	for i := 1; i <= n; i++ {
+		c = c * float64(n-i+1) / float64(i)
+		bound += c * intPow(av, n-i) * intPow(d, i)
+	}
+	return bound
+}
+
+func intPow(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}
+
+// MaxVar implements Expr.
+func (p Pow) MaxVar() int { return p.X.MaxVar() }
+
+// String implements Expr.
+func (p Pow) String() string { return fmt.Sprintf("%s^%d", p.X, p.N) }
+
+// Poly is the polynomial Σ aᵢ·xⁱ over one sub-expression (Theorem 1 with
+// the additive and multiplicative closures of Theorems 7–8).
+type Poly struct {
+	Coeffs []float64 // Coeffs[i] multiplies x^i
+	X      Expr
+}
+
+// Eval implements Expr (Horner form).
+func (p Poly) Eval(vals []float64) float64 {
+	x := p.X.Eval(vals)
+	acc := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		acc = acc*x + p.Coeffs[i]
+	}
+	return acc
+}
+
+// Bound implements Expr: Δ(Σaᵢxⁱ) ≤ Σ|aᵢ|·Δ(xⁱ).
+func (p Poly) Bound(vals, ebs []float64) (float64, float64) {
+	x, d := p.X.Bound(vals, ebs)
+	acc := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		acc = acc*x + p.Coeffs[i]
+	}
+	bound := 0.0
+	for i, a := range p.Coeffs {
+		if i == 0 || a == 0 {
+			continue
+		}
+		bound += math.Abs(a) * powBound(x, d, i)
+	}
+	return acc, bound
+}
+
+// MaxVar implements Expr.
+func (p Poly) MaxVar() int { return p.X.MaxVar() }
+
+// String implements Expr.
+func (p Poly) String() string {
+	parts := make([]string, 0, len(p.Coeffs))
+	for i, a := range p.Coeffs {
+		if a == 0 {
+			continue
+		}
+		switch i {
+		case 0:
+			parts = append(parts, trimFloat(a))
+		case 1:
+			parts = append(parts, fmt.Sprintf("%s*%s", trimFloat(a), p.X))
+		default:
+			parts = append(parts, fmt.Sprintf("%s*%s^%d", trimFloat(a), p.X, i))
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+// Sqrt is √x (Theorem 2).
+type Sqrt struct{ X Expr }
+
+// Eval implements Expr.
+func (s Sqrt) Eval(vals []float64) float64 { return math.Sqrt(s.X.Eval(vals)) }
+
+// Bound implements Expr: Δ(√x) ≤ ε/(√max(x−ε,0) + √x). The estimate blows
+// up as x→0 with ε>0 — the behaviour the paper's outlier mask exists for.
+func (s Sqrt) Bound(vals, ebs []float64) (float64, float64) {
+	v, d := s.X.Bound(vals, ebs)
+	if v < 0 {
+		// Reconstructed radicand negative: the true value cannot be
+		// certified until the bound shrinks.
+		return math.NaN(), math.Inf(1)
+	}
+	val := math.Sqrt(v)
+	if d == 0 {
+		return val, 0
+	}
+	den := math.Sqrt(math.Max(v-d, 0)) + val
+	if den == 0 {
+		return val, math.Inf(1)
+	}
+	return val, d / den
+}
+
+// MaxVar implements Expr.
+func (s Sqrt) MaxVar() int { return s.X.MaxVar() }
+
+// String implements Expr.
+func (s Sqrt) String() string { return fmt.Sprintf("sqrt(%s)", s.X) }
+
+// Radical is 1/(x + c) (Theorem 3).
+type Radical struct {
+	C float64
+	X Expr
+}
+
+// Eval implements Expr.
+func (r Radical) Eval(vals []float64) float64 { return 1 / (r.X.Eval(vals) + r.C) }
+
+// Bound implements Expr: Δ(1/(x+c)) ≤ ε/(min(|x+c−ε|,|x+c+ε|)·|x+c|),
+// valid only while ε < |x+c|.
+func (r Radical) Bound(vals, ebs []float64) (float64, float64) {
+	v, d := r.X.Bound(vals, ebs)
+	u := v + r.C
+	val := 1 / u
+	if d == 0 {
+		return val, 0
+	}
+	if !(d < math.Abs(u)) {
+		return val, math.Inf(1)
+	}
+	return val, d / (math.Min(math.Abs(u-d), math.Abs(u+d)) * math.Abs(u))
+}
+
+// MaxVar implements Expr.
+func (r Radical) MaxVar() int { return r.X.MaxVar() }
+
+// String implements Expr.
+func (r Radical) String() string { return fmt.Sprintf("1/(%s + %s)", r.X, trimFloat(r.C)) }
+
+// Vars returns the sorted distinct variable indices used by e.
+func Vars(e Expr) []int {
+	set := map[int]bool{}
+	collectVars(e, set)
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func collectVars(e Expr, set map[int]bool) {
+	switch n := e.(type) {
+	case Var:
+		set[n.Index] = true
+	case Const:
+	case Sum:
+		for _, t := range n.Terms {
+			collectVars(t, set)
+		}
+	case Mul:
+		collectVars(n.A, set)
+		collectVars(n.B, set)
+	case Div:
+		collectVars(n.Num, set)
+		collectVars(n.Den, set)
+	case Pow:
+		collectVars(n.X, set)
+	case Poly:
+		collectVars(n.X, set)
+	case Sqrt:
+		collectVars(n.X, set)
+	case Radical:
+		collectVars(n.X, set)
+	case Abs:
+		collectVars(n.X, set)
+	case Exp:
+		collectVars(n.X, set)
+	case Log:
+		collectVars(n.X, set)
+	default:
+		// Unknown node types contribute conservatively via MaxVar.
+		for i := 0; i <= e.MaxVar(); i++ {
+			set[i] = true
+		}
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

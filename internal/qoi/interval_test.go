@@ -1,0 +1,180 @@
+package qoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalPrimitives(t *testing.T) {
+	a := Interval{1, 2}
+	b := Interval{-3, 4}
+	if got := addIv(a, b); got != (Interval{-2, 6}) {
+		t.Fatalf("add = %v", got)
+	}
+	if got := scaleIv(-2, a); got != (Interval{-4, -2}) {
+		t.Fatalf("scale = %v", got)
+	}
+	if got := mulIv(a, b); got != (Interval{-6, 8}) {
+		t.Fatalf("mul = %v", got)
+	}
+	if _, ok := divIv(a, Interval{-1, 1}); ok {
+		t.Fatal("division by zero-straddling interval should fail")
+	}
+	if got, ok := divIv(Interval{2, 4}, Interval{1, 2}); !ok || got != (Interval{1, 4}) {
+		t.Fatalf("div = %v %v", got, ok)
+	}
+	if got := powIv(Interval{-2, 1}, 2); got != (Interval{0, 4}) {
+		t.Fatalf("even pow = %v", got)
+	}
+	if got, ok := sqrtIv(Interval{-1, 4}); !ok || got != (Interval{0, 2}) {
+		t.Fatalf("sqrt = %v %v", got, ok)
+	}
+	if _, ok := sqrtIv(Interval{-4, -1}); ok {
+		t.Fatal("sqrt of negative interval should fail")
+	}
+}
+
+// TestIntervalEnclosureSound verifies the fundamental property: for random
+// expressions and random perturbations inside the box, f(x') always lands
+// inside the computed enclosure.
+func TestIntervalEnclosureSound(t *testing.T) {
+	var build func(rng *rand.Rand, depth int) Expr
+	build = func(rng *rand.Rand, depth int) Expr {
+		if depth <= 0 || rng.Intn(4) == 0 {
+			if rng.Intn(3) == 0 {
+				return Const{C: rng.NormFloat64() * 2}
+			}
+			return Var{Index: rng.Intn(3)}
+		}
+		switch rng.Intn(9) {
+		case 0:
+			return Add(build(rng, depth-1), build(rng, depth-1))
+		case 1:
+			return Mul{A: build(rng, depth-1), B: build(rng, depth-1)}
+		case 2:
+			return Div{Num: build(rng, depth-1), Den: build(rng, depth-1)}
+		case 3:
+			return Pow{N: 1 + rng.Intn(3), X: build(rng, depth-1)}
+		case 4:
+			return Sqrt{X: build(rng, depth-1)}
+		case 5:
+			return Radical{C: rng.NormFloat64(), X: build(rng, depth-1)}
+		case 6:
+			return Abs{X: build(rng, depth-1)}
+		case 7:
+			return Exp{X: Scale(0.3, build(rng, depth-1))}
+		default:
+			return Log{X: build(rng, depth-1)}
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := build(rng, 4)
+		vals := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		ebs := []float64{rng.Float64() * 0.1, rng.Float64() * 0.1, rng.Float64() * 0.1}
+		iv, ok := EvalInterval(e, vals, ebs)
+		if !ok {
+			return true
+		}
+		pert := make([]float64, 3)
+		for s := 0; s < 200; s++ {
+			for i := range pert {
+				pert[i] = vals[i] + (rng.Float64()*2-1)*ebs[i]
+			}
+			v := e.Eval(pert)
+			if math.IsNaN(v) {
+				continue
+			}
+			slack := 1e-9*(math.Abs(iv.Lo)+math.Abs(iv.Hi)) + 1e-300
+			if v < iv.Lo-slack || v > iv.Hi+slack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	qois := GEQoIs()
+	for trial := 0; trial < 30; trial++ {
+		vals := []float64{
+			rng.NormFloat64() * 100, rng.NormFloat64() * 100, rng.NormFloat64() * 100,
+			101325 * (1 + 0.1*rng.NormFloat64()), 1.2 * (1 + 0.05*rng.NormFloat64()),
+		}
+		ebs := []float64{1e-3, 1e-3, 1e-3, 1e-1, 1e-5}
+		for _, q := range qois {
+			val, bound := IntervalBound(q.Expr, vals, ebs)
+			if math.IsInf(bound, 1) {
+				continue
+			}
+			sup := bruteForceSup(q.Expr, vals, ebs, rng, 300)
+			slack := bound*1e-9 + 1e-12*(1+math.Abs(val))
+			if sup > bound+slack {
+				t.Errorf("%s: interval bound %g below observed sup %g", q.Name, bound, sup)
+			}
+		}
+	}
+}
+
+func TestIntervalVsTheoremTightness(t *testing.T) {
+	// Documents the tightness relationship on the GE QoIs: both are sound;
+	// neither dominates universally, but both must stay within a small
+	// factor on realistic CFD values.
+	rng := rand.New(rand.NewSource(32))
+	qois := GEQoIs()
+	for trial := 0; trial < 20; trial++ {
+		vals := []float64{
+			50 + rng.Float64()*100, rng.NormFloat64() * 50, rng.NormFloat64() * 30,
+			101325 * (1 + 0.05*rng.NormFloat64()), 1.2,
+		}
+		ebs := []float64{1e-4, 1e-4, 1e-4, 1e-2, 1e-6}
+		for _, q := range qois {
+			_, tb := TheoremBound(q.Expr, vals, ebs)
+			_, ib := IntervalBound(q.Expr, vals, ebs)
+			if math.IsInf(tb, 1) || math.IsInf(ib, 1) {
+				continue
+			}
+			if tb <= 0 || ib <= 0 {
+				continue
+			}
+			ratio := tb / ib
+			if ratio < 1e-3 || ratio > 1e3 {
+				t.Errorf("%s: estimator ratio %g wildly divergent (theorem %g, interval %g)",
+					q.Name, ratio, tb, ib)
+			}
+		}
+	}
+}
+
+func TestIntervalBoundInfiniteCases(t *testing.T) {
+	// Division straddling zero.
+	e := Div{Num: Var{0}, Den: Var{1}}
+	if _, b := IntervalBound(e, []float64{1, 0.1}, []float64{0, 1}); !math.IsInf(b, 1) {
+		t.Fatal("straddling division should be +Inf")
+	}
+	// Infinite input bound.
+	if _, b := IntervalBound(Var{0}, []float64{1}, []float64{math.Inf(1)}); !math.IsInf(b, 1) {
+		t.Fatal("infinite input bound should propagate")
+	}
+	// Log domain violation.
+	if _, b := IntervalBound(Log{X: Var{0}}, []float64{0.5}, []float64{1}); !math.IsInf(b, 1) {
+		t.Fatal("log straddling zero should be +Inf")
+	}
+}
+
+func TestIntervalZeroErrorGivesZeroBound(t *testing.T) {
+	vals := []float64{3, 4, 5, 101325, 1.2}
+	zero := make([]float64, 5)
+	for _, q := range GEQoIs() {
+		_, b := IntervalBound(q.Expr, vals, zero)
+		if b > 1e-12 {
+			t.Errorf("%s: zero input error gives interval bound %g", q.Name, b)
+		}
+	}
+}

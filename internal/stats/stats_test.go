@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxAbsError(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1.5, 2, 2}
+	if got := MaxAbsError(a, b); got != 1 {
+		t.Fatalf("got %v, want 1", got)
+	}
+	if got := MaxAbsError(nil, nil); got != 0 {
+		t.Fatalf("empty: got %v", got)
+	}
+}
+
+func TestMaxAbsErrorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaxAbsError([]float64{1}, []float64{1, 2})
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{-3, 2, 1}); got != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Fatalf("empty: got %v", got)
+	}
+}
+
+func TestRangeMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Range(xs); got != 6 {
+		t.Fatalf("range = %v", got)
+	}
+	lo, hi := MinMax(xs)
+	if lo != -1 || hi != 5 {
+		t.Fatalf("minmax = %v,%v", lo, hi)
+	}
+	if Range(nil) != 0 || Range([]float64{7}) != 0 {
+		t.Fatal("degenerate ranges should be 0")
+	}
+}
+
+func TestRelMaxError(t *testing.T) {
+	ref := []float64{0, 10}
+	ap := []float64{1, 10}
+	if got := RelMaxError(ref, ap); got != 0.1 {
+		t.Fatalf("got %v", got)
+	}
+	if got := RelMaxError([]float64{5, 5}, []float64{5, 5}); got != 0 {
+		t.Fatalf("constant exact: got %v", got)
+	}
+	if got := RelMaxError([]float64{5, 5}, []float64{6, 5}); !math.IsInf(got, 1) {
+		t.Fatalf("constant inexact: got %v", got)
+	}
+}
+
+func TestRMSEAndPSNR(t *testing.T) {
+	ref := []float64{0, 0, 0, 0}
+	ap := []float64{1, 1, 1, 1}
+	if got := RMSE(ref, ap); got != 1 {
+		t.Fatalf("rmse = %v", got)
+	}
+	if got := PSNR(ref, ref); !math.IsInf(got, 1) {
+		t.Fatalf("exact psnr = %v", got)
+	}
+	ref2 := []float64{0, 10}
+	ap2 := []float64{1, 10}
+	want := 20 * math.Log10(10/math.Sqrt(0.5))
+	if got := PSNR(ref2, ap2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("psnr = %v, want %v", got, want)
+	}
+}
+
+func TestBitrate(t *testing.T) {
+	if got := Bitrate(100, 100); got != 8 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Bitrate(100, 0); got != 0 {
+		t.Fatalf("zero elements: got %v", got)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if got := CompressionRatio(80, 100); got != 10 {
+		t.Fatalf("got %v", got)
+	}
+	if got := CompressionRatio(0, 100); !math.IsInf(got, 1) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRDSeries(t *testing.T) {
+	var s RDSeries
+	s.Name = "test"
+	s.Add(10, 1e-2)
+	s.Add(12, 1e-4)
+	s.Add(15, 1e-6)
+	if br, ok := s.BitrateAt(1e-4); !ok || br != 12 {
+		t.Fatalf("BitrateAt(1e-4) = %v,%v", br, ok)
+	}
+	if _, ok := s.BitrateAt(1e-9); ok {
+		t.Fatal("unreachable tolerance should report !ok")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", math.Inf(1))
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") || !strings.Contains(out, "inf") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+}
+
+func TestFormatG(t *testing.T) {
+	if FormatG(math.NaN()) != "nan" || FormatG(math.Inf(-1)) != "-inf" {
+		t.Fatal("special values")
+	}
+	if FormatG(0.125) != "0.125" {
+		t.Fatalf("got %q", FormatG(0.125))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPropertyRelErrorBounds(t *testing.T) {
+	// Relative error of data vs itself is always 0; error vs perturbed copy is ≥ 0.
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		if RelMaxError(vals, vals) != 0 {
+			return false
+		}
+		pert := append([]float64(nil), vals...)
+		pert[0] += 1
+		return RelMaxError(vals, pert) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

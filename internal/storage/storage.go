@@ -1,0 +1,348 @@
+// Package storage provides the archive substrate of the paper's workflow
+// (Fig. 1): refactored multi-precision fragments and their metadata are
+// written to a storage system at data-generation time and fetched
+// incrementally at analysis time.
+//
+// Two layers:
+//
+//   - Store: a fragment-addressed key-value interface with an in-memory
+//     implementation (remote-cache semantics) and a directory-backed
+//     implementation (one file per variable, fragments resolved by offset
+//     from a validated index).
+//
+//   - Archive: a container bundling the refactored variables of one
+//     dataset — names, grids, value ranges, zero masks, fragments — into a
+//     single self-describing blob with per-section checksums, so analysis
+//     code can reopen everything a producer wrote.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"progqoi/internal/core"
+	"progqoi/internal/encoding"
+	"progqoi/internal/progressive"
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("storage: not found")
+
+// Store is a minimal fragment store.
+type Store interface {
+	// Put writes a value under key (overwrites).
+	Put(key string, val []byte) error
+	// Get reads a value; ErrNotFound when missing.
+	Get(key string) ([]byte, error)
+	// Keys lists all keys in lexical order.
+	Keys() ([]string, error)
+}
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore { return &MemStore{m: map[string][]byte{}} }
+
+// Put implements Store.
+func (s *MemStore) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DirStore keeps each key in its own file under a root directory. Keys are
+// restricted to a safe character set to prevent path traversal.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{root: root}, nil
+}
+
+func validKey(key string) error {
+	if key == "" || len(key) > 200 {
+		return fmt.Errorf("storage: invalid key %q", key)
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("storage: invalid key character %q in %q", r, key)
+		}
+	}
+	if key[0] == '.' {
+		return fmt.Errorf("storage: key %q may not start with a dot", key)
+	}
+	return nil
+}
+
+// Put implements Store.
+func (s *DirStore) Put(key string, val []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.root, key+".tmp")
+	if err := os.WriteFile(tmp, val, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.root, key))
+}
+
+// Get implements Store.
+func (s *DirStore) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(s.root, key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return b, err
+}
+
+// Keys implements Store.
+func (s *DirStore) Keys() ([]string, error) {
+	ents, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) == ".tmp" {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// archiveMagic identifies the container format.
+var archiveMagic = []byte("PQARCH1\n")
+
+// WriteArchive bundles refactored variables into a store under the given
+// dataset name: one "<name>.manifest" blob plus one "<name>.<var>.var" blob
+// per variable, all CRC-protected.
+func WriteArchive(st Store, name string, vars []*core.Variable) error {
+	if err := validKey(name + ".manifest"); err != nil {
+		return err
+	}
+	var manifest []byte
+	manifest = append(manifest, archiveMagic...)
+	manifest = appendU32(manifest, uint32(len(vars)))
+	for _, v := range vars {
+		blob := marshalVariable(v)
+		key := fmt.Sprintf("%s.%s.var", name, v.Name)
+		if err := validKey(key); err != nil {
+			return fmt.Errorf("storage: variable name %q unusable as key: %w", v.Name, err)
+		}
+		if err := st.Put(key, withCRC(blob)); err != nil {
+			return err
+		}
+		manifest = encoding.PutSection(manifest, []byte(v.Name))
+	}
+	return st.Put(name+".manifest", withCRC(manifest))
+}
+
+// ReadArchive reopens an archive written by WriteArchive.
+func ReadArchive(st Store, name string) ([]*core.Variable, error) {
+	mraw, err := st.Get(name + ".manifest")
+	if err != nil {
+		return nil, err
+	}
+	manifest, err := checkCRC(mraw)
+	if err != nil {
+		return nil, fmt.Errorf("storage: manifest: %w", err)
+	}
+	if len(manifest) < len(archiveMagic)+4 || string(manifest[:len(archiveMagic)]) != string(archiveMagic) {
+		return nil, fmt.Errorf("%w: bad archive magic", encoding.ErrCorrupt)
+	}
+	off := len(archiveMagic)
+	n := int(binary.LittleEndian.Uint32(manifest[off:]))
+	off += 4
+	if n < 0 || n > 1<<16 {
+		return nil, fmt.Errorf("%w: %d variables", encoding.ErrCorrupt, n)
+	}
+	vars := make([]*core.Variable, n)
+	for i := 0; i < n; i++ {
+		nameB, m, err := encoding.GetSection(manifest[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += m
+		key := fmt.Sprintf("%s.%s.var", name, nameB)
+		raw, err := st.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := checkCRC(raw)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s: %w", key, err)
+		}
+		v, err := unmarshalVariable(blob)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s: %w", key, err)
+		}
+		if v.Name != string(nameB) {
+			return nil, fmt.Errorf("%w: variable blob name %q != manifest %q", encoding.ErrCorrupt, v.Name, nameB)
+		}
+		vars[i] = v
+	}
+	return vars, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// withCRC frames a blob with a CRC32C trailer.
+func withCRC(blob []byte) []byte {
+	out := make([]byte, 0, len(blob)+4)
+	out = append(out, blob...)
+	crc := crc32.Checksum(blob, crc32.MakeTable(crc32.Castagnoli))
+	return appendU32(out, crc)
+}
+
+func checkCRC(raw []byte) ([]byte, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("%w: blob too short for checksum", encoding.ErrCorrupt)
+	}
+	blob, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	got := crc32.Checksum(blob, crc32.MakeTable(crc32.Castagnoli))
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", encoding.ErrCorrupt, got, want)
+	}
+	return blob, nil
+}
+
+// marshalVariable serializes a core.Variable: name, range, zero mask, and
+// its refactored representation.
+func marshalVariable(v *core.Variable) []byte {
+	var out []byte
+	out = encoding.PutSection(out, []byte(v.Name))
+	var rb [8]byte
+	binary.LittleEndian.PutUint64(rb[:], math.Float64bits(v.Range))
+	out = encoding.PutSection(out, rb[:])
+	out = encoding.PutSection(out, packMask(v.ZeroMask))
+	out = encoding.PutSection(out, v.Ref.Marshal())
+	return out
+}
+
+func unmarshalVariable(blob []byte) (*core.Variable, error) {
+	nameB, n, err := encoding.GetSection(blob)
+	if err != nil {
+		return nil, err
+	}
+	off := n
+	rb, n, err := encoding.GetSection(blob[off:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rb) != 8 {
+		return nil, fmt.Errorf("%w: range field size %d", encoding.ErrCorrupt, len(rb))
+	}
+	off += n
+	maskB, n, err := encoding.GetSection(blob[off:])
+	if err != nil {
+		return nil, err
+	}
+	off += n
+	refB, _, err := encoding.GetSection(blob[off:])
+	if err != nil {
+		return nil, err
+	}
+	ref, err := progressive.Unmarshal(refB)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := unpackMask(maskB, ref.NumElements())
+	if err != nil {
+		return nil, err
+	}
+	return &core.Variable{
+		Name:     string(nameB),
+		Range:    math.Float64frombits(binary.LittleEndian.Uint64(rb)),
+		ZeroMask: mask,
+		Ref:      ref,
+	}, nil
+}
+
+// packMask encodes a bool slice as count + bitmap (empty when nil).
+func packMask(mask []bool) []byte {
+	if mask == nil {
+		return nil
+	}
+	out := appendU32(nil, uint32(len(mask)))
+	bits := make([]byte, (len(mask)+7)/8)
+	for i, m := range mask {
+		if m {
+			bits[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return append(out, bits...)
+}
+
+func unpackMask(b []byte, wantLen int) ([]bool, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: mask header", encoding.ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n != wantLen {
+		return nil, fmt.Errorf("%w: mask length %d, want %d", encoding.ErrCorrupt, n, wantLen)
+	}
+	if len(b) != 4+(n+7)/8 {
+		return nil, fmt.Errorf("%w: mask bitmap size %d", encoding.ErrCorrupt, len(b)-4)
+	}
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = b[4+i/8]>>uint(i%8)&1 == 1
+	}
+	return mask, nil
+}

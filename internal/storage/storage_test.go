@@ -1,0 +1,247 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"progqoi/internal/core"
+	"progqoi/internal/datagen"
+	"progqoi/internal/progressive"
+	"progqoi/internal/qoi"
+)
+
+func testVars(t *testing.T) ([]*core.Variable, *datagen.Dataset) {
+	t.Helper()
+	ds := datagen.GE("GE-arch", 4, 128, 11)
+	vars, err := core.RefactorVariables(ds.FieldNames, ds.Fields, ds.Dims, core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vars, ds
+}
+
+func TestMemStoreBasics(t *testing.T) {
+	s := NewMemStore()
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if err := s.Put("a", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("a")
+	if err != nil || len(v) != 2 {
+		t.Fatalf("get: %v %v", v, err)
+	}
+	// Returned slice must be a copy.
+	v[0] = 99
+	v2, _ := s.Get("a")
+	if v2[0] != 1 {
+		t.Fatal("MemStore leaked internal buffer")
+	}
+	keys, _ := s.Keys()
+	if len(keys) != 1 || keys[0] != "a" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestDirStoreBasics(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("block-1.var", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("block-1.var")
+	if err != nil || string(v) != "hello" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	keys, err := s.Keys()
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("keys: %v %v", keys, err)
+	}
+}
+
+func TestDirStoreRejectsUnsafeKeys(t *testing.T) {
+	s, _ := NewDirStore(t.TempDir())
+	for _, key := range []string{"", "../evil", "a/b", ".hidden", "sp ace", string(make([]byte, 300))} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+		if _, err := s.Get(key); err == nil {
+			t.Errorf("get key %q accepted", key)
+		}
+	}
+}
+
+func TestArchiveRoundTripMem(t *testing.T) {
+	vars, ds := testVars(t)
+	st := NewMemStore()
+	if err := WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArchive(st, "ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vars) {
+		t.Fatalf("got %d vars", len(got))
+	}
+	for i := range vars {
+		if got[i].Name != vars[i].Name || got[i].Range != vars[i].Range {
+			t.Fatalf("var %d metadata mismatch", i)
+		}
+		if (got[i].ZeroMask == nil) != (vars[i].ZeroMask == nil) {
+			t.Fatalf("var %d mask presence mismatch", i)
+		}
+		for j := range vars[i].ZeroMask {
+			if got[i].ZeroMask[j] != vars[i].ZeroMask[j] {
+				t.Fatalf("var %d mask differs at %d", i, j)
+			}
+		}
+	}
+	// The reopened archive must drive a full QoI retrieval identically.
+	rt, err := core.NewRetriever(got, core.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtot := []qoi.QoI{ds.QoIs[0]}
+	ranges := core.QoIRanges(vtot, ds.Fields)
+	res, err := rt.Retrieve(core.Request{
+		QoIs:       vtot,
+		Tolerances: []float64{1e-4 * ranges[0]},
+		InitRel:    []float64{1e-4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := core.ActualQoIErrors(vtot, ds.Fields, res.Data)
+	if actual[0] > res.EstErrors[0] {
+		t.Fatalf("actual %g > est %g after archive round trip", actual[0], res.EstErrors[0])
+	}
+}
+
+func TestArchiveRoundTripDir(t *testing.T) {
+	vars, _ := testVars(t)
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArchive(st, "ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d vars", len(got))
+	}
+}
+
+func TestArchiveDetectsCorruption(t *testing.T) {
+	vars, _ := testVars(t)
+	st := NewMemStore()
+	if err := WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in a variable blob: the CRC must catch it.
+	key := "ge.Pressure.var"
+	blob, err := st.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := st.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArchive(st, "ge"); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	// Corrupt manifest too.
+	st2 := NewMemStore()
+	_ = WriteArchive(st2, "ge", vars)
+	m, _ := st2.Get("ge.manifest")
+	m[3] ^= 0xff
+	_ = st2.Put("ge.manifest", m)
+	if _, err := ReadArchive(st2, "ge"); err == nil {
+		t.Fatal("manifest corruption not detected")
+	}
+}
+
+func TestArchiveMissingVariableBlob(t *testing.T) {
+	vars, _ := testVars(t)
+	st := NewMemStore()
+	if err := WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a lost object by re-creating the store without one blob.
+	st2 := NewMemStore()
+	keys, _ := st.Keys()
+	for _, k := range keys {
+		if k == "ge.Density.var" {
+			continue
+		}
+		v, _ := st.Get(k)
+		_ = st2.Put(k, v)
+	}
+	if _, err := ReadArchive(st2, "ge"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestMaskPackUnpack(t *testing.T) {
+	if out := packMask(nil); out != nil {
+		t.Fatal("nil mask should pack to nil")
+	}
+	mask := []bool{true, false, true, true, false, false, false, true, true}
+	packed := packMask(mask)
+	got, err := unpackMask(packed, len(mask))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mask {
+		if got[i] != mask[i] {
+			t.Fatalf("mask differs at %d", i)
+		}
+	}
+	if _, err := unpackMask(packed, len(mask)+1); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+	if _, err := unpackMask([]byte{1, 2}, 9); err == nil {
+		t.Fatal("short mask not detected")
+	}
+}
+
+func TestCRCRoundTrip(t *testing.T) {
+	blob := []byte("payload with checksum")
+	framed := withCRC(blob)
+	got, err := checkCRC(framed)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("%q %v", got, err)
+	}
+	framed[0] ^= 1
+	if _, err := checkCRC(framed); err == nil {
+		t.Fatal("bit flip not detected")
+	}
+	if _, err := checkCRC([]byte{1, 2}); err == nil {
+		t.Fatal("short blob not detected")
+	}
+}
+
+func TestRangePreservedThroughArchive(t *testing.T) {
+	vars, _ := testVars(t)
+	// Ranges should be finite, positive physical values.
+	for _, v := range vars {
+		if !(v.Range > 0) || math.IsInf(v.Range, 0) {
+			t.Fatalf("%s range %g", v.Name, v.Range)
+		}
+	}
+}

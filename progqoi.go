@@ -1,0 +1,237 @@
+// Package progqoi is an error-controlled progressive retrieval library for
+// scientific data with guaranteed error bounds on derivable quantities of
+// interest (QoIs), reproducing the SC'24 paper "Error-controlled
+// Progressive Retrieval of Scientific Data under Derivable Quantities of
+// Interest".
+//
+// A producer refactors each field once into progressive fragments:
+//
+//	archive, err := progqoi.Refactor(
+//	    []string{"Vx", "Vy", "Vz"}, fields, []int{512, 512},
+//	    progqoi.WithMethod(progqoi.PMGARDHB))
+//
+// A consumer then opens a retrieval session and asks for QoIs under
+// absolute error tolerances; the session fetches only the fragments needed
+// to *certify* those tolerances from the reconstruction alone — no ground
+// truth required — and reuses every byte across successive requests:
+//
+//	sess, err := archive.Open(nil)
+//	vtot, err := progqoi.ParseQoI("VTOT", "sqrt(Vx^2+Vy^2+Vz^2)", archive.FieldNames())
+//	res, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{1e-4})
+//	// res.Data, res.EstErrors, res.RetrievedBytes
+//
+// QoIs are derivable when composable from the paper's basis: polynomials,
+// square root, the radical 1/(x+c), addition, multiplication, division and
+// composition — enough for total velocity, temperature, Mach number, total
+// pressure, viscosity, molar-concentration products, and far more.
+package progqoi
+
+import (
+	"fmt"
+
+	"progqoi/internal/core"
+	"progqoi/internal/progressive"
+	"progqoi/internal/qoi"
+)
+
+// Method selects a progressive representation.
+type Method = progressive.Method
+
+// The available progressive representations (§V-B of the paper).
+const (
+	// PSZ3 stores independent error-bounded snapshots.
+	PSZ3 = progressive.PSZ3
+	// PSZ3Delta stores residual snapshots (no cross-request redundancy).
+	PSZ3Delta = progressive.PSZ3Delta
+	// PMGARD is the multilevel orthogonal-basis decomposition + bit planes.
+	PMGARD = progressive.PMGARD
+	// PMGARDHB is the paper's revised hierarchical-basis variant: tighter
+	// L∞ estimates, faster refactoring (the recommended default).
+	PMGARDHB = progressive.PMGARDHB
+)
+
+// QoI is a named derivable quantity of interest.
+type QoI = qoi.QoI
+
+// Expr is a derivable QoI expression tree; see ParseQoI and the builders.
+type Expr = qoi.Expr
+
+// Result reports one retrieval: reconstructed data, certified per-QoI error
+// estimates, and cumulative retrieved bytes.
+type Result = core.Result
+
+// ErrExhausted is returned (with a best-effort Result) when full fidelity
+// is reached before the requested tolerances can be certified.
+var ErrExhausted = core.ErrExhausted
+
+// ParseQoI compiles a formula over the named fields into a QoI, e.g.
+// ParseQoI("T", "P/(287.1*D)", []string{"Vx","Vy","Vz","P","D"}).
+// Half-integer exponents (x^3.5) lower automatically to sqrt(x^7).
+func ParseQoI(name, formula string, fields []string) (QoI, error) {
+	e, err := qoi.Parse(formula, fields)
+	if err != nil {
+		return QoI{}, err
+	}
+	return QoI{Name: name, Expr: e}, nil
+}
+
+// TotalVelocity returns the √(Vx²+Vy²+Vz²) QoI over three field indices.
+func TotalVelocity(vx, vy, vz int) QoI { return qoi.TotalVelocity(vx, vy, vz) }
+
+// GEQoIs returns the paper's six GE CFD QoIs (Equations 1–6), defined over
+// fields ordered Vx, Vy, Vz, P, D.
+func GEQoIs() []QoI { return qoi.GEQoIs() }
+
+// Option configures Refactor.
+type Option func(*options)
+
+type options struct {
+	method    Method
+	maskZeros bool
+	planes    int
+	snapshots []float64
+	tail      bool
+}
+
+// WithMethod selects the progressive representation (default PMGARDHB).
+func WithMethod(m Method) Option { return func(o *options) { o.method = m } }
+
+// WithZeroMask enables the outlier mask for exact-zero points, keeping
+// square-root QoI estimates finite at wall nodes (default on).
+func WithZeroMask(on bool) Option { return func(o *options) { o.maskZeros = on } }
+
+// WithPlanes sets the bit-plane count for PMGARD methods (default 60).
+func WithPlanes(n int) Option { return func(o *options) { o.planes = n } }
+
+// WithSnapshotBounds sets the preset absolute bounds for snapshot methods
+// (default: 16 decades from 1/10 of the field range).
+func WithSnapshotBounds(ebs []float64) Option {
+	return func(o *options) { o.snapshots = append([]float64(nil), ebs...) }
+}
+
+// WithLosslessTail appends a bit-exact final fragment to snapshot methods
+// so any tolerance is reachable (default on).
+func WithLosslessTail(on bool) Option { return func(o *options) { o.tail = on } }
+
+// Archive is a set of refactored variables sharing one grid.
+type Archive struct {
+	vars   []*core.Variable
+	names  []string
+	dims   []int
+	fields int
+}
+
+// Refactor transforms fields (row-major on dims, one slice per field) into
+// a progressive archive.
+func Refactor(names []string, fields [][]float64, dims []int, opts ...Option) (*Archive, error) {
+	o := options{method: PMGARDHB, maskZeros: true, tail: true}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	vars, err := core.RefactorVariables(names, fields, dims, core.RefactorOptions{
+		Progressive: progressive.Options{
+			Method:       o.method,
+			Planes:       o.planes,
+			SnapshotEBs:  o.snapshots,
+			LosslessTail: o.tail,
+		},
+		MaskZeros: o.maskZeros,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{vars: vars, names: append([]string(nil), names...), dims: append([]int(nil), dims...), fields: len(fields)}, nil
+}
+
+// FieldNames returns the archive's field names in variable order.
+func (a *Archive) FieldNames() []string { return append([]string(nil), a.names...) }
+
+// Dims returns the grid shape.
+func (a *Archive) Dims() []int { return append([]int(nil), a.dims...) }
+
+// StoredBytes returns the total fragment bytes across all variables.
+func (a *Archive) StoredBytes() int64 {
+	var n int64
+	for _, v := range a.vars {
+		n += v.Ref.TotalBytes()
+	}
+	return n
+}
+
+// Variables exposes the underlying refactored variables (advanced use:
+// custom retrievers, storage layers, transfer simulation).
+func (a *Archive) Variables() []*core.Variable { return a.vars }
+
+// FetchObserver sees every fragment fetch (index within its variable,
+// size in bytes); use it for byte accounting or transfer simulation.
+type FetchObserver = progressive.FetchFunc
+
+// SessionConfig tunes the retrieval loop; the zero value uses the paper's
+// settings (tightening factor c = 1.5, max-error-point optimization on).
+type SessionConfig = core.Config
+
+// Session is an incremental QoI-preserving retrieval session. Fragments
+// fetched by one Retrieve call are reused by every later call.
+type Session struct {
+	rt *core.Retriever
+}
+
+// Open starts a retrieval session over the archive. fetch may be nil.
+func (a *Archive) Open(fetch FetchObserver, cfg ...SessionConfig) (*Session, error) {
+	var c core.Config
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	rt, err := core.NewRetriever(a.vars, c, fetch)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{rt: rt}, nil
+}
+
+// Retrieve fetches just enough fragments to certify every QoI within its
+// absolute tolerance, returning the reconstruction and the certified error
+// estimates. When tolerances cannot be certified even at full fidelity it
+// returns the best-effort Result together with ErrExhausted.
+func (s *Session) Retrieve(qois []QoI, tolerances []float64) (*Result, error) {
+	return s.rt.Retrieve(core.Request{QoIs: qois, Tolerances: tolerances})
+}
+
+// Region is a half-open flat-index range of the data space used for
+// region-of-interest retrieval; the zero Region means the whole domain.
+type Region = core.Region
+
+// RetrieveRegions is Retrieve with per-QoI regions of interest: QoI k is
+// certified only over regions[k]. Request the same QoI twice with
+// different regions and tolerances to express spatially varying fidelity.
+func (s *Session) RetrieveRegions(qois []QoI, tolerances []float64, regions []Region) (*Result, error) {
+	return s.rt.Retrieve(core.Request{QoIs: qois, Tolerances: tolerances, Regions: regions})
+}
+
+// RetrieveRelative is Retrieve with tolerances relative to the given QoI
+// ranges (the paper's evaluation convention): absolute τ = rel × range.
+func (s *Session) RetrieveRelative(qois []QoI, rel []float64, qoiRanges []float64) (*Result, error) {
+	if len(rel) != len(qois) || len(qoiRanges) != len(qois) {
+		return nil, fmt.Errorf("progqoi: rel/range length mismatch")
+	}
+	abs := make([]float64, len(rel))
+	for i := range rel {
+		abs[i] = rel[i] * qoiRanges[i]
+	}
+	return s.rt.Retrieve(core.Request{QoIs: qois, Tolerances: abs, InitRel: rel})
+}
+
+// RetrievedBytes returns the session's cumulative fetched bytes.
+func (s *Session) RetrievedBytes() int64 { return s.rt.RetrievedBytes() }
+
+// ActualQoIErrors computes ground-truth QoI errors between original and
+// reconstructed fields — evaluation only; the retrieval loop never sees it.
+func ActualQoIErrors(qois []QoI, orig, recon [][]float64) []float64 {
+	return core.ActualQoIErrors(qois, orig, recon)
+}
+
+// QoIRanges computes per-QoI value ranges on original data, for converting
+// between absolute and relative tolerances.
+func QoIRanges(qois []QoI, orig [][]float64) []float64 {
+	return core.QoIRanges(qois, orig)
+}
