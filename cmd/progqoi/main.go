@@ -13,6 +13,14 @@
 // Inspect an archive:
 //
 //	progqoi info field.pq
+//
+// Pack several fields into a servable archive directory and retrieve over
+// the wire from a running progqoid (see cmd/progqoid):
+//
+//	progqoi pack -dims 512x512 -dataset ge -fields Vx,Vy,Vz \
+//	    -store ./archives vx.f64 vy.f64 vz.f64
+//	progqoi retrieve -remote http://host:9123 -dataset ge \
+//	    -qoi "sqrt(Vx^2+Vy^2+Vz^2)" -tol 1e-4 -out vtot
 package main
 
 import (
@@ -24,10 +32,12 @@ import (
 	"strconv"
 	"strings"
 
+	"progqoi"
 	"progqoi/internal/core"
 	"progqoi/internal/progressive"
 	"progqoi/internal/qoi"
 	"progqoi/internal/stats"
+	"progqoi/internal/storage"
 )
 
 func main() {
@@ -39,6 +49,8 @@ func main() {
 	switch os.Args[1] {
 	case "refactor":
 		err = cmdRefactor(os.Args[2:])
+	case "pack":
+		err = cmdPack(os.Args[2:])
 	case "retrieve":
 		err = cmdRetrieve(os.Args[2:])
 	case "info":
@@ -58,7 +70,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   progqoi refactor -dims NxMx... [-method NAME] -out OUT.pq IN.f64
+  progqoi pack -dims NxMx... -dataset NAME -fields A,B,... -store DIR [-method NAME] IN1.f64 IN2.f64 ...
   progqoi retrieve -qoi FORMULA -tol T -fields A,B,... [-out PREFIX] IN1.pq IN2.pq ...
+  progqoi retrieve -remote URL -dataset NAME -qoi FORMULA -tol T [-out PREFIX]
   progqoi info IN.pq
   progqoi verify IN.pq ORIGINAL.f64
 methods: psz3, psz3-delta, pmgard, pmgard-hb (default)`)
@@ -151,14 +165,143 @@ func cmdRefactor(args []string) error {
 	return nil
 }
 
+// cmdPack refactors several fields into one archive written to a storage
+// directory, ready for progqoid to serve.
+func cmdPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	dimsStr := fs.String("dims", "", "grid dims, e.g. 512x512")
+	methodStr := fs.String("method", "pmgard-hb", "progressive method")
+	dataset := fs.String("dataset", "", "dataset name")
+	fieldsStr := fs.String("fields", "", "comma-separated field names, one per input file")
+	storeDir := fs.String("store", "", "archive directory to write")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*fieldsStr, ",")
+	if fs.NArg() == 0 || *dimsStr == "" || *dataset == "" || *storeDir == "" || len(names) != fs.NArg() {
+		return fmt.Errorf("pack needs -dims, -dataset, -store and -fields matching the input count")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			return fmt.Errorf("pack: -fields contains an empty name")
+		}
+		if seen[n] {
+			return fmt.Errorf("pack: duplicate field name %q", n)
+		}
+		seen[n] = true
+	}
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	method, err := parseMethod(*methodStr)
+	if err != nil {
+		return err
+	}
+	fields := make([][]float64, fs.NArg())
+	for i := range fields {
+		if fields[i], err = readF64(fs.Arg(i)); err != nil {
+			return err
+		}
+	}
+	vars, err := core.RefactorVariables(names, fields, dims, core.RefactorOptions{
+		Progressive: progressive.Options{Method: method, LosslessTail: true},
+		MaskZeros:   true,
+	})
+	if err != nil {
+		return err
+	}
+	st, err := storage.NewDirStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if err := storage.WriteArchive(st, *dataset, vars); err != nil {
+		return err
+	}
+	var total int64
+	for _, v := range vars {
+		total += v.Ref.TotalBytes()
+	}
+	fmt.Printf("%s: packed %d variable(s) into dataset %q (%d fragment bytes); serve with: progqoid -dir %s\n",
+		*storeDir, len(vars), *dataset, total, *storeDir)
+	return nil
+}
+
+// reportRetrieval prints the certified error and byte accounting of one
+// retrieval; extra (optional) extends the byte line, e.g. with wire stats.
+func reportRetrieval(res *core.Result, tol float64, ne, nvars int, extra string) {
+	fmt.Printf("certified max QoI error: %s (tolerance %s)\n",
+		stats.FormatG(res.EstErrors[0]), stats.FormatG(tol))
+	fmt.Printf("retrieved %d bytes (%.3f bits/value), %d iterations%s\n",
+		res.RetrievedBytes, stats.Bitrate(res.RetrievedBytes, ne*nvars), res.Iterations, extra)
+}
+
+// writeRecons writes each reconstructed field to PREFIX_<field>.f64,
+// skipping variables the request never touched.
+func writeRecons(names []string, data [][]float64, outPrefix string) error {
+	if outPrefix == "" {
+		return nil
+	}
+	for i, name := range names {
+		if data[i] == nil {
+			continue
+		}
+		path := fmt.Sprintf("%s_%s.f64", outPrefix, name)
+		if err := writeF64(path, data[i]); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// cmdRetrieveRemote runs the retrieval against a progqoid fragment
+// service instead of local archive files.
+func cmdRetrieveRemote(remote, dataset, formula string, tol float64, outPrefix string) error {
+	arch, err := progqoi.OpenRemote(remote, dataset)
+	if err != nil {
+		return err
+	}
+	names := arch.FieldNames()
+	q, err := progqoi.ParseQoI("qoi", formula, names)
+	if err != nil {
+		return err
+	}
+	sess, err := arch.Open(nil)
+	if err != nil {
+		return err
+	}
+	res, err := sess.Retrieve([]progqoi.QoI{q}, []float64{tol})
+	if err != nil {
+		return err
+	}
+	ne := 1
+	for _, d := range arch.Dims() {
+		ne *= d
+	}
+	ws := arch.RemoteStats()
+	reportRetrieval(res, tol, ne, len(names), fmt.Sprintf("; wire: %d bytes in %d requests (%d cache hits)",
+		ws.WireBytes, ws.WireRequests, ws.CacheHits))
+	return writeRecons(names, res.Data, outPrefix)
+}
+
 func cmdRetrieve(args []string) error {
 	fs := flag.NewFlagSet("retrieve", flag.ExitOnError)
 	formula := fs.String("qoi", "", "QoI formula over the named fields")
 	tol := fs.Float64("tol", 0, "absolute QoI error tolerance")
 	fieldsStr := fs.String("fields", "", "comma-separated field names, one per archive")
 	outPrefix := fs.String("out", "", "write reconstructed fields to PREFIX_<field>.f64")
+	remote := fs.String("remote", "", "base URL of a progqoid fragment service")
+	dataset := fs.String("dataset", "", "dataset name on the remote service")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" {
+		if *dataset == "" || *formula == "" || !(*tol > 0) || fs.NArg() != 0 {
+			return fmt.Errorf("remote retrieve needs -dataset, -qoi, -tol > 0 and no archive files")
+		}
+		return cmdRetrieveRemote(*remote, *dataset, *formula, *tol, *outPrefix)
 	}
 	names := strings.Split(*fieldsStr, ",")
 	if fs.NArg() == 0 || *formula == "" || !(*tol > 0) || len(names) != fs.NArg() {
@@ -197,24 +340,8 @@ func cmdRetrieve(args []string) error {
 	if err != nil {
 		return err
 	}
-	ne := vars[0].Ref.NumElements()
-	fmt.Printf("certified max QoI error: %s (tolerance %s)\n",
-		stats.FormatG(res.EstErrors[0]), stats.FormatG(*tol))
-	fmt.Printf("retrieved %d bytes (%.3f bits/value), %d iterations\n",
-		res.RetrievedBytes, stats.Bitrate(res.RetrievedBytes, ne*len(vars)), res.Iterations)
-	if *outPrefix != "" {
-		for i, name := range names {
-			if res.Data[i] == nil {
-				continue
-			}
-			path := fmt.Sprintf("%s_%s.f64", *outPrefix, name)
-			if err := writeF64(path, res.Data[i]); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", path)
-		}
-	}
-	return nil
+	reportRetrieval(res, *tol, vars[0].Ref.NumElements(), len(vars), "")
+	return writeRecons(names, res.Data, *outPrefix)
 }
 
 // cmdVerify replays a progressive retrieval against the original data and

@@ -3,9 +3,13 @@ package main
 import (
 	"encoding/binary"
 	"math"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
 )
 
 func writeField(t *testing.T, path string, n int) []float64 {
@@ -157,5 +161,63 @@ func TestInfoRejectsGarbage(t *testing.T) {
 	}
 	if err := cmdInfo([]string{bad}); err == nil {
 		t.Fatal("garbage archive accepted")
+	}
+}
+
+func TestPackAndRemoteRetrieveWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	inA := filepath.Join(dir, "a.f64")
+	inB := filepath.Join(dir, "b.f64")
+	writeField(t, inA, 900)
+	writeField(t, inB, 900)
+	store := filepath.Join(dir, "archives")
+	if err := cmdPack([]string{"-dims", "900", "-dataset", "demo", "-fields", "A,B", "-store", store, inA, inB}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := storage.NewDirStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(st, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	out := filepath.Join(dir, "remote")
+	err = cmdRetrieve([]string{"-remote", hs.URL, "-dataset", "demo",
+		"-qoi", "sqrt(A^2+B^2)", "-tol", "1e-3", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recA, err := readF64(out + "_A.f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := readF64(out + "_B.f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origA, _ := readF64(inA)
+	origB, _ := readF64(inB)
+	for i := range origA {
+		qo := math.Sqrt(origA[i]*origA[i] + origB[i]*origB[i])
+		qr := math.Sqrt(recA[i]*recA[i] + recB[i]*recB[i])
+		if math.Abs(qo-qr) > 1e-3 {
+			t.Fatalf("remote QoI error %g at %d exceeds tolerance", math.Abs(qo-qr), i)
+		}
+	}
+
+	// Remote mode rejects malformed invocations.
+	if err := cmdRetrieve([]string{"-remote", hs.URL, "-qoi", "A", "-tol", "1e-3"}); err == nil {
+		t.Fatal("remote retrieve without -dataset accepted")
+	}
+	if err := cmdRetrieve([]string{"-remote", hs.URL, "-dataset", "demo", "-qoi", "A", "-tol", "1e-3", "x.pq"}); err == nil {
+		t.Fatal("remote retrieve with archive files accepted")
+	}
+	if err := cmdPack([]string{"-dims", "900", "-fields", "A", "-store", store, inA}); err == nil {
+		t.Fatal("pack without -dataset accepted")
 	}
 }

@@ -1,0 +1,86 @@
+// Command progqoid is the fragment service daemon: it serves the archives
+// of a storage directory (written by storage.WriteArchive, e.g. via
+// `progqoi pack`) over HTTP so remote sessions can retrieve QoIs with
+// exactly the bytes each tolerance needs.
+//
+//	progqoid -dir ./archives -addr :9123
+//
+// Routes, formats and caching behaviour are documented in
+// progqoi/internal/server. Stop with SIGINT/SIGTERM; in-flight requests
+// drain before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "progqoid:", err)
+		os.Exit(1)
+	}
+}
+
+// newServer builds the HTTP handler for one archive directory; split from
+// run so tests can drive it without a listener.
+func newServer(dir string, limit int, logRequests bool) (*server.Server, error) {
+	st, err := storage.NewDirStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return server.New(st, server.Options{MaxInflight: limit, LogRequests: logRequests})
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("progqoid", flag.ExitOnError)
+	addr := fs.String("addr", ":9123", "listen address")
+	dir := fs.String("dir", "", "archive directory to serve (required)")
+	limit := fs.Int("limit", server.DefaultMaxInflight, "max concurrent requests")
+	verbose := fs.Bool("v", false, "log every request")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	srv, err := newServer(*dir, *limit, *verbose)
+	if err != nil {
+		return err
+	}
+	names := srv.Datasets()
+	if len(names) == 0 {
+		log.Printf("progqoid: warning: no datasets (no *.manifest keys) under %s", *dir)
+	}
+	log.Printf("progqoid: serving %d dataset(s) %v from %s on %s (limit %d)",
+		len(names), names, *dir, *addr, *limit)
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("progqoid: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return nil
+}

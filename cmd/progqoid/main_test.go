@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"progqoi/internal/core"
+	"progqoi/internal/datagen"
+	"progqoi/internal/progressive"
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
+)
+
+func writeArchiveDir(t *testing.T, dir string) []*core.Variable {
+	t.Helper()
+	ds := datagen.GE("GE-daemon", 4, 96, 7)
+	vars, err := core.RefactorVariables(ds.FieldNames, ds.Fields, ds.Dims, core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	return vars
+}
+
+func TestNewServerServesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	writeArchiveDir(t, dir)
+	srv, err := newServer(dir, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Datasets(); len(got) != 1 || got[0] != "ge" {
+		t.Fatalf("datasets = %v", got)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	var st server.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || st.Datasets != 1 {
+		t.Fatalf("healthz = %+v", st)
+	}
+}
+
+func TestRunRequiresDir(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+}

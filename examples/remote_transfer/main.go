@@ -3,18 +3,37 @@
 // velocity QoI across a simulated Globus-class wide-area link with one
 // worker per block. Progressive QoI-aware retrieval moves a fraction of the
 // raw bytes and beats shipping the originals once any error is tolerable.
+//
+// With -url the same workload additionally runs against a *real* fragment
+// server (internal/server over HTTP): pass "self" to serve the blocks
+// in-process on a loopback port, or a base URL of a progqoid already
+// hosting datasets block0..block<N-1>. The table then shows the simulated
+// wire bytes next to the fragment payload bytes the real client fetched
+// over HTTP (the same unit netsim accounts; transport gzip savings are
+// not deducted) — identical on the first pass, and smaller for the real
+// client afterwards because its fragment cache makes repeated requests
+// free.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"strings"
 
 	"progqoi"
 	"progqoi/internal/datagen"
 	"progqoi/internal/netsim"
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
 )
 
 func main() {
+	urlFlag := flag.String("url", "", `also retrieve over a real fragment server: "self" serves in-process, otherwise a progqoid base URL hosting block0..blockN datasets`)
+	flag.Parse()
+
 	const workers = 16
 	ds := datagen.GE("GE-blocks", workers, 2048, 7)
 	blockSize := ds.NumElements() / workers
@@ -37,6 +56,28 @@ func main() {
 		archives[b] = arch
 	}
 
+	// Optionally stand up / connect to the real server.
+	var remotes []*progqoi.Archive
+	if *urlFlag != "" {
+		base := *urlFlag
+		if base == "self" {
+			var err error
+			base, err = serveSelf(archives)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("serving %d block datasets in-process at %s\n", workers, base)
+		}
+		remotes = make([]*progqoi.Archive, workers)
+		for b := 0; b < workers; b++ {
+			arch, err := progqoi.OpenRemote(base, fmt.Sprintf("block%d", b))
+			if err != nil {
+				log.Fatal(err)
+			}
+			remotes[b] = arch
+		}
+	}
+
 	link := netsim.DefaultGlobusLink
 	link.BandwidthBps = float64(rawBytes) / 11.7 // calibrate: raw baseline ≈ 11.7 s
 	rawTime := netsim.RawTransferTime(rawBytes, workers, link)
@@ -44,25 +85,82 @@ func main() {
 		float64(rawBytes)/1e6, rawTime.Seconds(), workers)
 
 	vtot := progqoi.TotalVelocity(0, 1, 2)
-	fmt.Printf("%-10s  %-14s  %-14s  %s\n", "rel tol", "retrieved MB", "transfer (s)", "speedup")
+	hdr := fmt.Sprintf("%-10s  %-14s  %-14s  %-8s", "rel tol", "sim wire MB", "transfer (s)", "speedup")
+	if remotes != nil {
+		hdr += fmt.Sprintf("  %-14s  %s", "real wire MB", "cache hits")
+	}
+	fmt.Println(hdr)
 	for _, rel := range []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5} {
 		res, err := netsim.Run(workers, workers, link, func(b int, rec *netsim.Recorder) error {
 			sess, err := archives[b].Open(rec.Observe)
 			if err != nil {
 				return err
 			}
-			ranges := progqoi.QoIRanges([]progqoi.QoI{vtot}, blocks[b])
-			if ranges[0] == 0 {
-				ranges[0] = 1
-			}
-			_, err = sess.RetrieveRelative([]progqoi.QoI{vtot}, []float64{rel}, ranges)
-			return err
+			return retrieveBlock(sess, vtot, rel, blocks[b])
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-10.0e  %-14.2f  %-14.2f  %.2fx\n",
+		row := fmt.Sprintf("%-10.0e  %-14.2f  %-14.2f  %-8s",
 			rel, float64(res.TotalBytes)/1e6, res.Makespan.Seconds(),
-			rawTime.Seconds()/res.Makespan.Seconds())
+			fmt.Sprintf("%.2fx", rawTime.Seconds()/res.Makespan.Seconds()))
+		if remotes != nil {
+			var wire, hits int64
+			for b := 0; b < workers; b++ {
+				before := remotes[b].RemoteStats()
+				sess, err := remotes[b].Open(nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := retrieveBlock(sess, vtot, rel, blocks[b]); err != nil {
+					log.Fatal(err)
+				}
+				after := remotes[b].RemoteStats()
+				wire += after.WireBytes - before.WireBytes
+				hits += after.CacheHits - before.CacheHits
+			}
+			row += fmt.Sprintf("  %-14.2f  %d", float64(wire)/1e6, hits)
+		}
+		fmt.Println(row)
 	}
+	if remotes != nil {
+		fmt.Println("\nreal wire MB < sim wire MB once tolerances tighten: each fresh remote")
+		fmt.Println("session re-requests earlier fragments, but the shared client cache")
+		fmt.Println("serves them locally — only the marginal fragments cross the wire.")
+	}
+}
+
+// retrieveBlock asks one session for VTOT at the given relative tolerance.
+func retrieveBlock(sess *progqoi.Session, vtot progqoi.QoI, rel float64, fields [][]float64) error {
+	ranges := progqoi.QoIRanges([]progqoi.QoI{vtot}, fields)
+	if ranges[0] == 0 {
+		ranges[0] = 1
+	}
+	_, err := sess.RetrieveRelative([]progqoi.QoI{vtot}, []float64{rel}, ranges)
+	return err
+}
+
+// serveSelf writes every block archive into a MemStore, serves it with the
+// real fragment service on a loopback port, and returns the base URL.
+func serveSelf(archives []*progqoi.Archive) (string, error) {
+	st := storage.NewMemStore()
+	for b, arch := range archives {
+		if err := storage.WriteArchive(st, fmt.Sprintf("block%d", b), arch.Variables()); err != nil {
+			return "", err
+		}
+	}
+	srv, err := server.New(st, server.Options{})
+	if err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := http.Serve(ln, srv); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			log.Print(err)
+		}
+	}()
+	return "http://" + ln.Addr().String(), nil
 }

@@ -1,0 +1,3 @@
+module progqoi
+
+go 1.24

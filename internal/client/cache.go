@@ -1,0 +1,69 @@
+package client
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a byte-bounded LRU over fragment payloads. Values are stored
+// by reference — fragments are immutable on both ends of the wire — so a
+// hit costs no copy.
+type lruCache struct {
+	mu        sync.Mutex
+	capBytes  int64
+	size      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions int64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRUCache(capBytes int64) *lruCache {
+	return &lruCache{capBytes: capBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(key string, val []byte) {
+	if c.capBytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.size += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.size += int64(len(val))
+	}
+	for c.size > c.capBytes && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		e := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+func (c *lruCache) stats() (bytes int64, entries int, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size, c.ll.Len(), c.evictions
+}

@@ -1,0 +1,435 @@
+// Package client is the compute-site half of the remote retrieval
+// subsystem: a typed HTTP client for the internal/server fragment service
+// with bounded retry/backoff, a byte-bounded LRU fragment cache shared by
+// every session, and request coalescing so concurrent sessions asking for
+// the same fragment share one wire fetch.
+//
+// The paper's economics (§VI-D) survive the real network because the
+// client separates two byte counts: a session's RetrievedBytes (the
+// fragment bytes its retrieval loop ingested — what the paper plots) and
+// the client's WireBytes (what actually crossed the network). Cache hits
+// and coalesced fetches make the second strictly smaller on repeated
+// workloads.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"progqoi/internal/encoding"
+	"progqoi/internal/server"
+)
+
+// DefaultCacheBytes bounds the fragment cache when Options.CacheBytes is 0.
+const DefaultCacheBytes = 64 << 20
+
+// Options configures a Client.
+type Options struct {
+	// HTTPClient overrides the transport (default: stock transport with a
+	// 30 s response-header timeout; body reads are not deadlined so large
+	// fragments survive slow links).
+	HTTPClient *http.Client
+	// MaxRetries is the number of re-attempts after a transport error,
+	// truncated body, or 5xx (default 3; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the first retry delay, doubled per attempt
+	// (default 50 ms).
+	RetryBackoff time.Duration
+	// CacheBytes bounds the shared fragment cache (default
+	// DefaultCacheBytes; negative disables caching).
+	CacheBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		// Bound how long the server may take to start answering, but not
+		// the body read: a whole-response deadline would kill large batch
+		// downloads on slow links no matter how healthy the transfer.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.ResponseHeaderTimeout = 30 * time.Second
+		o.HTTPClient = &http.Client{Transport: tr}
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = DefaultCacheBytes
+	} else if o.CacheBytes < 0 {
+		o.CacheBytes = 0
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the client's wire accounting.
+type Stats struct {
+	// WireBytes is fragment payload bytes fetched over HTTP — the same
+	// unit as a session's RetrievedBytes and netsim's recorder, so the
+	// three are directly comparable. Cache hits and coalesced waits
+	// contribute nothing. Transport-level gzip savings are not deducted:
+	// this counts payloads, not socket bytes.
+	WireBytes int64
+	// WireRequests counts HTTP requests issued, including retries.
+	WireRequests int64
+	// FragmentsFetched counts fragments that crossed the wire.
+	FragmentsFetched int64
+	// CacheHits counts fragment lookups served from the local cache.
+	CacheHits int64
+	// Coalesced counts fragment lookups that piggybacked on another
+	// session's in-flight fetch.
+	Coalesced int64
+	// CacheBytes / CacheEntries / CacheEvictions describe the LRU.
+	CacheBytes     int64
+	CacheEntries   int
+	CacheEvictions int64
+}
+
+// call is one in-flight fragment fetch that coalesced waiters block on.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Client talks to one fragment service. It is safe for concurrent use and
+// meant to be shared: the cache and coalescing work across sessions.
+type Client struct {
+	base  string
+	hc    *http.Client
+	opts  Options
+	cache *lruCache
+
+	mu       sync.Mutex
+	inflight map[string]*call
+
+	idxMu   sync.Mutex
+	indexes map[string]*server.Index
+
+	wireBytes    atomic.Int64
+	wireRequests atomic.Int64
+	fragsFetched atomic.Int64
+	cacheHits    atomic.Int64
+	coalesced    atomic.Int64
+}
+
+// New returns a client for the service at baseURL (e.g. "http://host:9123").
+func New(baseURL string, opt Options) (*Client, error) {
+	base := strings.TrimRight(baseURL, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
+	}
+	opt = opt.withDefaults()
+	return &Client{
+		base:     base,
+		hc:       opt.HTTPClient,
+		opts:     opt,
+		cache:    newLRUCache(opt.CacheBytes),
+		inflight: map[string]*call{},
+		indexes:  map[string]*server.Index{},
+	}, nil
+}
+
+// Stats snapshots the wire accounting.
+func (c *Client) Stats() Stats {
+	cb, ce, ev := c.cache.stats()
+	return Stats{
+		WireBytes:        c.wireBytes.Load(),
+		WireRequests:     c.wireRequests.Load(),
+		FragmentsFetched: c.fragsFetched.Load(),
+		CacheHits:        c.cacheHits.Load(),
+		Coalesced:        c.coalesced.Load(),
+		CacheBytes:       cb,
+		CacheEntries:     ce,
+		CacheEvictions:   ev,
+	}
+}
+
+// HTTPError reports a non-retryable HTTP failure status.
+type HTTPError struct {
+	Status int
+	Msg    string
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Status, strings.TrimSpace(e.Msg))
+}
+
+// do issues one request with bounded retry/backoff. Transport errors,
+// truncated bodies, and 5xx responses retry; other non-200 statuses fail
+// immediately with *HTTPError.
+func (c *Client) do(method, path string, body []byte, contentType string) ([]byte, error) {
+	var lastErr error
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		c.wireRequests.Add(1)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close() //nolint:errcheck
+		switch {
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("client: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(data)))
+			continue
+		case resp.StatusCode != http.StatusOK:
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, &HTTPError{Status: resp.StatusCode, Msg: string(data)})
+		case rerr != nil:
+			lastErr = fmt.Errorf("client: %s %s: truncated body: %w", method, path, rerr)
+			continue
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.opts.MaxRetries+1, lastErr)
+}
+
+// Health fetches the service's /healthz stats.
+func (c *Client) Health() (*server.Stats, error) {
+	b, err := c.do("GET", "/healthz", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	var st server.Stats
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("client: healthz: %w", err)
+	}
+	return &st, nil
+}
+
+// Datasets lists the datasets the service hosts.
+func (c *Client) Datasets() ([]string, error) {
+	b, err := c.do("GET", "/v1/datasets", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("client: datasets: %w", err)
+	}
+	return out.Datasets, nil
+}
+
+// Index fetches (and memoizes — the archive is immutable) one dataset's
+// index.
+func (c *Client) Index(dataset string) (*server.Index, error) {
+	c.idxMu.Lock()
+	if idx, ok := c.indexes[dataset]; ok {
+		c.idxMu.Unlock()
+		return idx, nil
+	}
+	c.idxMu.Unlock()
+	b, err := c.do("GET", "/v1/d/"+dataset+"/index", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	idx := &server.Index{}
+	if err := json.Unmarshal(b, idx); err != nil {
+		return nil, fmt.Errorf("client: index %s: %w", dataset, err)
+	}
+	c.idxMu.Lock()
+	c.indexes[dataset] = idx
+	c.idxMu.Unlock()
+	return idx, nil
+}
+
+// indexFragSize returns the index-declared size of one fragment, or -1
+// when the index does not know it.
+func indexFragSize(idx *server.Index, vr string, fi int) int64 {
+	for i := range idx.Variables {
+		if idx.Variables[i].Name == vr {
+			if fi >= 0 && fi < len(idx.Variables[i].FragmentSizes) {
+				return idx.Variables[i].FragmentSizes[fi]
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+func fragKey(dataset, vr string, fi int) string {
+	return dataset + "\x00" + vr + "\x00" + strconv.Itoa(fi)
+}
+
+// Fragment fetches a single fragment through the cache via the
+// single-fragment GET endpoint.
+func (c *Client) Fragment(dataset, vr string, fi int) ([]byte, error) {
+	key := fragKey(dataset, vr, fi)
+	if v, ok := c.cache.get(key); ok {
+		c.cacheHits.Add(1)
+		return v, nil
+	}
+	b, err := c.do("GET", "/v1/d/"+dataset+"/frag/"+vr+"/"+strconv.Itoa(fi), nil, "")
+	if err != nil {
+		return nil, err
+	}
+	if idx, ierr := c.Index(dataset); ierr == nil {
+		if want := indexFragSize(idx, vr, fi); want >= 0 && int64(len(b)) != want {
+			return nil, fmt.Errorf("%w: fragment %s/%s/%d is %d bytes, index says %d",
+				encoding.ErrCorrupt, dataset, vr, fi, len(b), want)
+		}
+	}
+	c.wireBytes.Add(int64(len(b)))
+	c.fragsFetched.Add(1)
+	c.cache.add(key, b)
+	return b, nil
+}
+
+// Fragments fetches a set of fragments in at most one HTTP round trip:
+// cached fragments are returned directly, fragments already being fetched
+// by a concurrent session are awaited, and the rest travel in a single
+// batched POST. The result maps variable name → fragment index → payload.
+func (c *Client) Fragments(dataset string, wants map[string][]int) (map[string]map[int][]byte, error) {
+	idx, err := c.Index(dataset)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[int][]byte{}
+	put := func(vr string, fi int, v []byte) {
+		m := out[vr]
+		if m == nil {
+			m = map[int][]byte{}
+			out[vr] = m
+		}
+		m[fi] = v
+	}
+	type pending struct {
+		vr  string
+		fi  int
+		key string
+		cl  *call
+	}
+	var owned, waited []pending
+	seen := map[string]bool{}
+	c.mu.Lock()
+	for _, vr := range sortedKeys(wants) {
+		for _, fi := range wants[vr] {
+			key := fragKey(dataset, vr, fi)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if v, ok := c.cache.get(key); ok {
+				c.cacheHits.Add(1)
+				put(vr, fi, v)
+				continue
+			}
+			if cl := c.inflight[key]; cl != nil {
+				c.coalesced.Add(1)
+				waited = append(waited, pending{vr, fi, key, cl})
+				continue
+			}
+			cl := &call{done: make(chan struct{})}
+			c.inflight[key] = cl
+			owned = append(owned, pending{vr, fi, key, cl})
+		}
+	}
+	c.mu.Unlock()
+
+	if len(owned) > 0 {
+		req := server.BatchRequest{}
+		byVar := map[string][]int{}
+		for _, p := range owned {
+			byVar[p.vr] = append(byVar[p.vr], p.fi)
+		}
+		for _, vr := range sortedKeys(byVar) {
+			req.Wants = append(req.Wants, server.BatchWant{Var: vr, Indices: byVar[vr]})
+		}
+		body, _ := json.Marshal(req)
+		blob, ferr := c.do("POST", "/v1/d/"+dataset+"/frags", body, "application/json")
+		got := map[string][]byte{}
+		if ferr == nil {
+			var frags []server.BatchFragment
+			frags, ferr = server.DecodeBatch(blob)
+			for _, f := range frags {
+				got[fragKey(dataset, f.Var, f.Index)] = f.Payload
+			}
+		}
+		if ferr == nil {
+			for _, p := range owned {
+				payload, ok := got[p.key]
+				if !ok {
+					ferr = fmt.Errorf("client: batch response missing fragment %s/%d", p.vr, p.fi)
+					break
+				}
+				if want := indexFragSize(idx, p.vr, p.fi); want >= 0 && int64(len(payload)) != want {
+					ferr = fmt.Errorf("%w: fragment %s/%d is %d bytes, index says %d",
+						encoding.ErrCorrupt, p.vr, p.fi, len(payload), want)
+					break
+				}
+			}
+		}
+		c.mu.Lock()
+		for _, p := range owned {
+			delete(c.inflight, p.key)
+			if ferr != nil {
+				p.cl.err = ferr
+			} else {
+				// Clone out of the decoded batch blob: DecodeBatch payloads
+				// are subslices of the whole response, and caching them by
+				// reference would pin the full blob in memory long after
+				// eviction shrank the accounted cache size.
+				p.cl.val = bytes.Clone(got[p.key])
+				c.cache.add(p.key, p.cl.val)
+				c.wireBytes.Add(int64(len(p.cl.val)))
+				c.fragsFetched.Add(1)
+			}
+			close(p.cl.done)
+		}
+		c.mu.Unlock()
+		if ferr != nil {
+			return nil, ferr
+		}
+		for _, p := range owned {
+			put(p.vr, p.fi, p.cl.val)
+		}
+	}
+	for _, p := range waited {
+		<-p.cl.done
+		if p.cl.err != nil {
+			return nil, fmt.Errorf("client: coalesced fetch: %w", p.cl.err)
+		}
+		put(p.vr, p.fi, p.cl.val)
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string][]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,404 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"progqoi/internal/core"
+	"progqoi/internal/datagen"
+	"progqoi/internal/encoding"
+	"progqoi/internal/progressive"
+	"progqoi/internal/qoi"
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
+)
+
+func testVars(t *testing.T) []*core.Variable {
+	t.Helper()
+	ds := datagen.GE("GE-cli", 4, 128, 11)
+	vars, err := core.RefactorVariables(ds.FieldNames, ds.Fields, ds.Dims, core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vars
+}
+
+// serviceFor serves the given variables as dataset "ge" through an
+// optional middleware.
+func serviceFor(t *testing.T, vars []*core.Variable, middleware func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	st := storage.NewMemStore()
+	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(st, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h http.Handler = srv
+	if middleware != nil {
+		h = middleware(srv)
+	}
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// testService serves one dataset "ge" through an optional middleware.
+func testService(t *testing.T, middleware func(http.Handler) http.Handler) (*httptest.Server, []*core.Variable) {
+	t.Helper()
+	vars := testVars(t)
+	return serviceFor(t, vars, middleware), vars
+}
+
+func fastOptions() Options {
+	return Options{MaxRetries: 3, RetryBackoff: time.Millisecond}
+}
+
+func TestRetryOn5xxThenSuccess(t *testing.T) {
+	var failures atomic.Int64
+	failures.Store(2)
+	var attempts atomic.Int64
+	hs, vars := testService(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.Contains(r.URL.Path, "/frag/") {
+				attempts.Add(1)
+				if failures.Add(-1) >= 0 {
+					http.Error(w, "transient", http.StatusServiceUnavailable)
+					return
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := c.Fragment("ge", vars[0].Name, 0)
+	if err != nil {
+		t.Fatalf("fragment after transient 5xx: %v", err)
+	}
+	if string(frag) != string(vars[0].Ref.Fragments[0]) {
+		t.Fatal("payload mismatch")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	var attempts atomic.Int64
+	hs, vars := testService(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.Contains(r.URL.Path, "/frag/") {
+				attempts.Add(1)
+				http.Error(w, "down", http.StatusInternalServerError)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fragment("ge", vars[0].Name, 0); err == nil {
+		t.Fatal("persistent 5xx did not fail")
+	} else if !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("error %v does not report retry exhaustion", err)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("%d attempts, want 4 (1 + 3 retries)", got)
+	}
+}
+
+func TestNoRetryOn404(t *testing.T) {
+	hs, _ := testService(t, nil)
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats().WireRequests
+	_, err = c.Fragment("ge", "NoSuchVar", 0)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != 404 {
+		t.Fatalf("want HTTPError 404, got %v", err)
+	}
+	if got := c.Stats().WireRequests - before; got != 1 {
+		t.Fatalf("404 issued %d requests, want 1 (no retry)", got)
+	}
+}
+
+func TestTruncatedBodyRetriesThenFails(t *testing.T) {
+	var attempts atomic.Int64
+	hs, vars := testService(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.Contains(r.URL.Path, "/frag/") {
+				attempts.Add(1)
+				// Promise more bytes than we send: the client sees an
+				// unexpected EOF mid-body.
+				w.Header().Set("Content-Length", "4096")
+				w.Write([]byte("short")) //nolint:errcheck
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fragment("ge", vars[0].Name, 0); err == nil {
+		t.Fatal("truncated body did not fail")
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("%d attempts, want 4 (truncation retried)", got)
+	}
+}
+
+func TestCorruptBatchDetected(t *testing.T) {
+	vars := testVars(t)
+	hs := serviceFor(t, vars, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/frags") {
+				blob := server.EncodeBatch([]server.BatchFragment{{Var: vars[0].Name, Index: 0, Payload: []byte("xx")}})
+				blob[len(blob)/2] ^= 0x20
+				w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+				w.Write(blob) //nolint:errcheck
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Fragments("ge", map[string][]int{vars[0].Name: {0}})
+	if !errors.Is(err, encoding.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for corrupted batch, got %v", err)
+	}
+}
+
+func TestShortFragmentAgainstIndexDetected(t *testing.T) {
+	vars := testVars(t)
+	hs := serviceFor(t, vars, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/frags") {
+				// A well-formed batch whose payload is shorter than the
+				// index-declared fragment size: only the size cross-check
+				// can catch it.
+				blob := server.EncodeBatch([]server.BatchFragment{{Var: vars[0].Name, Index: 0, Payload: []byte("tiny")}})
+				w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+				w.Write(blob) //nolint:errcheck
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Fragments("ge", map[string][]int{vars[0].Name: {0}})
+	if !errors.Is(err, encoding.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for short fragment, got %v", err)
+	}
+}
+
+func TestCacheEvictionUnderBytePressure(t *testing.T) {
+	hs, vars := testService(t, nil)
+	sizes := make([]int64, 4)
+	for i := range sizes {
+		sizes[i] = int64(len(vars[0].Ref.Fragments[i]))
+	}
+	opt := fastOptions()
+	opt.CacheBytes = sizes[2] + sizes[3] // room for roughly two fragments
+	c, err := New(hs.URL, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Fragment("ge", vars[0].Name, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.CacheEvictions == 0 {
+		t.Fatalf("no evictions under byte pressure: %+v", st)
+	}
+	if st.CacheBytes > opt.CacheBytes {
+		t.Fatalf("cache %d bytes exceeds cap %d", st.CacheBytes, opt.CacheBytes)
+	}
+	// Fragment 0 was evicted long ago: re-fetching it pays the wire again.
+	wire := c.Stats().WireBytes
+	if _, err := c.Fragment("ge", vars[0].Name, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().WireBytes == wire {
+		t.Fatal("evicted fragment came back without wire bytes")
+	}
+}
+
+func TestCoalescingConcurrentFetches(t *testing.T) {
+	var batchCalls atomic.Int64
+	gate := make(chan struct{})
+	hs, vars := testService(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/frags") {
+				batchCalls.Add(1)
+				<-gate // hold the first fetch open until the second session queues on it
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]int{vars[0].Name: {0, 1}}
+	var wg sync.WaitGroup
+	results := make([]map[string]map[int][]byte, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Fragments("ge", want)
+		}(i)
+	}
+	// Wait until one goroutine owns the in-flight fetch and the other has
+	// coalesced onto it, then release the server.
+	deadline := time.After(5 * time.Second)
+	for c.Stats().Coalesced < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("second fetch never coalesced: %+v", c.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(gate)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		for fi, payload := range results[i][vars[0].Name] {
+			if string(payload) != string(vars[0].Ref.Fragments[fi]) {
+				t.Fatalf("session %d fragment %d mismatch", i, fi)
+			}
+		}
+	}
+	if got := batchCalls.Load(); got != 1 {
+		t.Fatalf("%d batch requests for identical concurrent wants, want 1", got)
+	}
+	st := c.Stats()
+	wantWire := int64(len(vars[0].Ref.Fragments[0]) + len(vars[0].Ref.Fragments[1]))
+	if st.WireBytes != wantWire {
+		t.Fatalf("wire bytes %d, want %d (each fragment fetched once)", st.WireBytes, wantWire)
+	}
+}
+
+func TestConcurrentSessionsShareWire(t *testing.T) {
+	hs, _ := testService(t, nil)
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem, err := c.OpenDataset("ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtot := qoi.TotalVelocity(0, 1, 2)
+	const sessions = 4
+	var wg sync.WaitGroup
+	retrieved := make([]int64, sessions)
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt, err := rem.NewSession(nil, core.Config{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := rt.Retrieve(core.Request{QoIs: []qoi.QoI{vtot}, Tolerances: []float64{5e-3}})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			retrieved[i] = res.RetrievedBytes
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	for i := 1; i < sessions; i++ {
+		if retrieved[i] != retrieved[0] {
+			t.Fatalf("sessions disagree on RetrievedBytes: %v", retrieved)
+		}
+	}
+	// Cache + coalescing guarantee every fragment crosses the wire at most
+	// once, so N concurrent identical sessions cost the wire exactly what
+	// one session retrieves.
+	st := c.Stats()
+	if st.WireBytes != retrieved[0] {
+		t.Fatalf("wire bytes %d for %d sessions, want %d (one session's worth)",
+			st.WireBytes, sessions, retrieved[0])
+	}
+	if st.CacheHits+st.Coalesced == 0 {
+		t.Fatal("no sharing observed across concurrent sessions")
+	}
+}
+
+func TestRemoteStore(t *testing.T) {
+	hs, vars := testService(t, nil)
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := c.Store()
+	keys, err := rs.Keys()
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("keys: %v %v", keys, err)
+	}
+	got, err := storage.ReadArchive(rs, "ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vars) {
+		t.Fatalf("%d variables, want %d", len(got), len(vars))
+	}
+	for i := range got {
+		if got[i].Name != vars[i].Name || got[i].Ref.TotalBytes() != vars[i].Ref.TotalBytes() {
+			t.Fatalf("variable %d differs after remote ReadArchive", i)
+		}
+	}
+	if _, err := rs.Get("no-such-key"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := rs.Put("k", []byte("v")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("put on read-only store: %v", err)
+	}
+}
+
+func TestBadBaseURL(t *testing.T) {
+	if _, err := New("ftp://nope", Options{}); err == nil {
+		t.Fatal("ftp scheme accepted")
+	}
+}

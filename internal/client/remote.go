@@ -1,0 +1,182 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"progqoi/internal/core"
+	"progqoi/internal/progressive"
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
+)
+
+// ErrReadOnly reports a write against the remote store, which the fragment
+// service does not accept: archives are immutable once refactored.
+var ErrReadOnly = errors.New("client: remote store is read-only")
+
+// RemoteStore adapts the service's raw store passthrough to storage.Store,
+// so generic archive code (storage.ReadArchive and friends) runs unchanged
+// over the wire. Reads go through the client's retry policy; writes return
+// ErrReadOnly.
+type RemoteStore struct{ c *Client }
+
+// Store returns the service's raw blob store view.
+func (c *Client) Store() *RemoteStore { return &RemoteStore{c: c} }
+
+// Put implements storage.Store; it always fails with ErrReadOnly.
+func (s *RemoteStore) Put(key string, val []byte) error {
+	return fmt.Errorf("%w (key %q)", ErrReadOnly, key)
+}
+
+// Get implements storage.Store.
+func (s *RemoteStore) Get(key string) ([]byte, error) {
+	b, err := s.c.do("GET", "/v1/store/blob/"+key, nil, "")
+	var he *HTTPError
+	if errors.As(err, &he) && he.Status == 404 {
+		return nil, fmt.Errorf("%w: %q", storage.ErrNotFound, key)
+	}
+	return b, err
+}
+
+// Keys implements storage.Store.
+func (s *RemoteStore) Keys() ([]string, error) {
+	b, err := s.c.do("GET", "/v1/store/keys", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("client: store keys: %w", err)
+	}
+	return out.Keys, nil
+}
+
+// Remote is an opened remote dataset: the retrieval metadata of every
+// variable (prefix bounds, schedules, zero masks, ranges) held locally,
+// fragment payloads fetched lazily per retrieval iteration. One Remote can
+// serve many concurrent sessions; they share the client's cache and
+// coalesce duplicate fetches.
+type Remote struct {
+	c       *Client
+	dataset string
+	vars    []*core.Variable // meta-only: fragment payloads are placeholders
+	stored  int64
+}
+
+// Open dials baseURL and opens the named dataset with fresh client
+// options. Share one Client across datasets via New + OpenDataset when the
+// cache should span them.
+func Open(baseURL, dataset string, opt Options) (*Remote, error) {
+	c, err := New(baseURL, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.OpenDataset(dataset)
+}
+
+// OpenDataset fetches the dataset's index and metadata blob and returns a
+// session factory for it.
+func (c *Client) OpenDataset(dataset string) (*Remote, error) {
+	idx, err := c.Index(dataset)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := c.do("GET", "/v1/d/"+dataset+"/meta", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	vars, err := server.DecodeMeta(blob)
+	if err != nil {
+		return nil, err
+	}
+	if len(vars) != len(idx.Variables) {
+		return nil, fmt.Errorf("client: dataset %s: meta has %d variables, index %d", dataset, len(vars), len(idx.Variables))
+	}
+	var stored int64
+	for i, v := range vars {
+		iv := idx.Variables[i]
+		if v.Name != iv.Name {
+			return nil, fmt.Errorf("client: dataset %s: meta variable %q != index %q", dataset, v.Name, iv.Name)
+		}
+		if len(v.Ref.Fragments) != len(iv.FragmentSizes) {
+			return nil, fmt.Errorf("client: dataset %s: %s has %d fragments in meta, %d in index",
+				dataset, v.Name, len(v.Ref.Fragments), len(iv.FragmentSizes))
+		}
+		stored += iv.TotalBytes
+	}
+	return &Remote{c: c, dataset: dataset, vars: vars, stored: stored}, nil
+}
+
+// Client returns the underlying client (shared cache, wire stats).
+func (r *Remote) Client() *Client { return r.c }
+
+// Dataset returns the dataset name.
+func (r *Remote) Dataset() string { return r.dataset }
+
+// FieldNames returns the dataset's variable names in order.
+func (r *Remote) FieldNames() []string {
+	out := make([]string, len(r.vars))
+	for i, v := range r.vars {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// Dims returns the dataset's grid shape.
+func (r *Remote) Dims() []int {
+	if len(r.vars) == 0 {
+		return nil
+	}
+	return append([]int(nil), r.vars[0].Ref.Dims...)
+}
+
+// StoredBytes returns the total fragment bytes held at the storage site.
+func (r *Remote) StoredBytes() int64 { return r.stored }
+
+// NewSession opens a QoI retrieval session whose fragment fetches travel
+// the wire in one batched request per retrieval iteration. fetch (optional)
+// observes every ingested fragment exactly as in the local path, so byte
+// accounting (e.g. a netsim.Recorder) works identically. Any Prefetch
+// already set in cfg is replaced.
+func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core.Retriever, error) {
+	// Each session owns its fragment payload slots; metadata (blocks,
+	// bounds, schedules, masks) is immutable and shared across sessions.
+	vars := make([]*core.Variable, len(r.vars))
+	for i, v := range r.vars {
+		ref := *v.Ref
+		ref.Fragments = make([][]byte, len(v.Ref.Fragments))
+		cv := *v
+		cv.Ref = &ref
+		vars[i] = &cv
+	}
+	cfg.Prefetch = func(need [][]int) error {
+		wants := map[string][]int{}
+		for vi, idxs := range need {
+			for _, fi := range idxs {
+				if fi < 0 || fi >= len(vars[vi].Ref.Fragments) {
+					return fmt.Errorf("client: plan wants fragment %s/%d of %d", vars[vi].Name, fi, len(vars[vi].Ref.Fragments))
+				}
+				if len(vars[vi].Ref.Fragments[fi]) == 0 {
+					wants[vars[vi].Name] = append(wants[vars[vi].Name], fi)
+				}
+			}
+		}
+		if len(wants) == 0 {
+			return nil
+		}
+		got, err := r.c.Fragments(r.dataset, wants)
+		if err != nil {
+			return err
+		}
+		for vi := range vars {
+			for fi, payload := range got[vars[vi].Name] {
+				vars[vi].Ref.Fragments[fi] = payload
+			}
+		}
+		return nil
+	}
+	return core.NewRetriever(vars, cfg, fetch)
+}

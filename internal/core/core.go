@@ -142,6 +142,13 @@ type Config struct {
 	// theorem-based qoi.TheoremBound; qoi.IntervalBound is the
 	// interval-arithmetic ablation).
 	Estimator qoi.BoundFunc
+	// Prefetch, when set, is invoked once per retrieval iteration before the
+	// readers advance: need[v] lists the fragment indices variable v will
+	// ingest this iteration (nil when v needs nothing). A remote retrieval
+	// client uses the hook to pull every needed fragment across all
+	// variables in a single batched round trip; fragments already present
+	// locally may be ignored by the hook.
+	Prefetch func(need [][]int) error
 }
 
 func (c Config) withDefaults() Config {
@@ -378,6 +385,24 @@ func (rt *Retriever) assignInitial(req Request, qoiVars [][]int) {
 // advance asks every involved reader for its assigned bound and refreshes
 // the masked data views. It reports whether any reader fetched new bytes.
 func (rt *Retriever) advance(involved map[int]bool) (bool, error) {
+	if rt.cfg.Prefetch != nil {
+		need := make([][]int, len(rt.vars))
+		any := false
+		for v := range rt.vars {
+			if !involved[v] {
+				continue
+			}
+			if p := rt.readers[v].Plan(rt.eps[v]); len(p) > 0 {
+				need[v] = p
+				any = true
+			}
+		}
+		if any {
+			if err := rt.cfg.Prefetch(need); err != nil {
+				return false, fmt.Errorf("core: prefetch: %w", err)
+			}
+		}
+	}
 	progressed := false
 	for v := range rt.vars {
 		if !involved[v] {

@@ -89,24 +89,76 @@ func (rd *Reader) RetrievedBytes() int64 { return rd.retrieved }
 // Exhausted reports whether every fragment has been ingested.
 func (rd *Reader) Exhausted() bool { return rd.nextFrag >= len(rd.src.Fragments) }
 
+// Plan returns the indices of the fragments the next Advance(target) will
+// ingest, in ingestion order, without fetching or ingesting anything —
+// Advance itself executes this plan. A remote retrieval layer uses it to
+// pull every needed fragment in one batched round trip before Advance
+// runs. An invalid or already-satisfied target plans nothing.
+func (rd *Reader) Plan(target float64) []int {
+	if target < 0 || math.IsNaN(target) || rd.bound <= target {
+		return nil
+	}
+	switch rd.src.Method {
+	case PSZ3:
+		// The loosest not-yet-passed snapshot meeting target, or the
+		// tightest available.
+		want := -1
+		for i := rd.nextFrag; i < len(rd.src.Fragments); i++ {
+			if rd.src.PrefixBounds[i] <= target {
+				want = i
+				break
+			}
+		}
+		if want < 0 {
+			want = len(rd.src.Fragments) - 1
+		}
+		if want < rd.nextFrag {
+			return nil
+		}
+		return []int{want}
+	default:
+		// PSZ3Delta and the PMGARD methods ingest the fragment prefix until
+		// the tracked bound reaches target.
+		var out []int
+		b := rd.bound
+		for i := rd.nextFrag; b > target && i < len(rd.src.Fragments); i++ {
+			out = append(out, i)
+			b = rd.src.PrefixBounds[i]
+		}
+		return out
+	}
+}
+
 // Advance ingests fragments until the guaranteed bound is ≤ target or the
 // representation is exhausted. target must be non-negative. It returns the
-// achieved bound.
+// achieved bound. The fragments ingested are exactly those Plan(target)
+// reports — Advance consumes the plan, so the selection logic cannot
+// diverge between the local and remote (prefetching) paths.
 func (rd *Reader) Advance(target float64) (float64, error) {
 	if target < 0 || math.IsNaN(target) {
 		return rd.bound, fmt.Errorf("%w: target %g", ErrBadRequest, target)
 	}
-	if rd.bound <= target {
-		return rd.bound, nil
+	for _, i := range rd.Plan(target) {
+		var err error
+		switch rd.src.Method {
+		case PSZ3, PSZ3Delta:
+			err = rd.ingestSnapshot(i)
+		default:
+			err = rd.ingestPlane(i)
+		}
+		if err != nil {
+			return rd.bound, err
+		}
 	}
 	switch rd.src.Method {
-	case PSZ3:
-		return rd.advancePSZ3(target)
-	case PSZ3Delta:
-		return rd.advanceDelta(target)
-	default:
-		return rd.advancePMGARD(target)
+	case PMGARD, PMGARDHB:
+		if rd.bound > target && rd.Exhausted() {
+			// Everything retrieved: the bound is the residual truncation
+			// bound.
+			rd.bound = rd.pmgardBound()
+		}
 	}
+	return rd.bound, nil
 }
 
 func (rd *Reader) ingest(i int) []byte {
@@ -118,118 +170,79 @@ func (rd *Reader) ingest(i int) []byte {
 	return f
 }
 
-// advancePSZ3 picks the loosest snapshot meeting target and fetches it
-// (skipping, but not fetching, looser ones). Re-fetching tighter snapshots
-// later duplicates bytes — PSZ3's inherent redundancy.
-func (rd *Reader) advancePSZ3(target float64) (float64, error) {
-	want := -1
-	for i := rd.nextFrag; i < len(rd.src.Fragments); i++ {
-		if rd.src.PrefixBounds[i] <= target {
-			want = i
-			break
-		}
-	}
-	if want < 0 {
-		// Tightest available still above target: take the last snapshot.
-		want = len(rd.src.Fragments) - 1
-	}
-	if want < rd.nextFrag {
-		return rd.bound, nil
-	}
-	buf := rd.ingest(want)
-	if rd.src.HasTail && want == len(rd.src.Fragments)-1 {
+// ingestSnapshot fetches and applies snapshot fragment i. PSZ3 snapshots
+// replace the reconstruction (re-fetching tighter ones later duplicates
+// bytes — PSZ3's inherent redundancy); PSZ3-Delta residuals accumulate.
+func (rd *Reader) ingestSnapshot(i int) error {
+	buf := rd.ingest(i)
+	delta := rd.src.Method == PSZ3Delta
+	if rd.src.HasTail && i == len(rd.src.Fragments)-1 {
 		vals, err := decodeLossless(buf, rd.grd.Size())
 		if err != nil {
-			return rd.bound, err
+			return err
 		}
-		copy(rd.data, vals)
+		if delta {
+			for j := range rd.data {
+				rd.data[j] += vals[j]
+			}
+		} else {
+			copy(rd.data, vals)
+		}
 		rd.bound = 0
 	} else {
 		dec, g, eb, err := sz.Decompress(buf)
 		if err != nil {
-			return rd.bound, err
+			return err
 		}
 		if !g.Equal(rd.grd) {
-			return rd.bound, fmt.Errorf("%w: snapshot grid %v, want %v", encoding.ErrCorrupt, g.Dims(), rd.grd.Dims())
+			return fmt.Errorf("%w: snapshot grid %v, want %v", encoding.ErrCorrupt, g.Dims(), rd.grd.Dims())
 		}
-		copy(rd.data, dec)
-		rd.bound = eb
-	}
-	rd.nextFrag = want + 1
-	return rd.bound, nil
-}
-
-// advanceDelta fetches residual snapshots in order until target is met.
-func (rd *Reader) advanceDelta(target float64) (float64, error) {
-	for rd.bound > target && rd.nextFrag < len(rd.src.Fragments) {
-		i := rd.nextFrag
-		buf := rd.ingest(i)
-		if rd.src.HasTail && i == len(rd.src.Fragments)-1 {
-			res, err := decodeLossless(buf, rd.grd.Size())
-			if err != nil {
-				return rd.bound, err
-			}
-			for j := range rd.data {
-				rd.data[j] += res[j]
-			}
-			rd.bound = 0
-		} else {
-			dec, g, eb, err := sz.Decompress(buf)
-			if err != nil {
-				return rd.bound, err
-			}
-			if !g.Equal(rd.grd) {
-				return rd.bound, fmt.Errorf("%w: snapshot grid %v, want %v", encoding.ErrCorrupt, g.Dims(), rd.grd.Dims())
-			}
+		if delta {
 			for j := range rd.data {
 				rd.data[j] += dec[j]
 			}
-			rd.bound = eb
+		} else {
+			copy(rd.data, dec)
 		}
-		rd.nextFrag = i + 1
+		rd.bound = eb
 	}
-	return rd.bound, nil
+	rd.nextFrag = i + 1
+	return nil
 }
 
-// advancePMGARD streams scheduled plane fragments until target is met.
-func (rd *Reader) advancePMGARD(target float64) (float64, error) {
-	for rd.bound > target && rd.nextFrag < len(rd.src.Fragments) {
-		i := rd.nextFrag
-		ref := rd.src.Schedule[i]
-		buf := rd.ingest(i)
-		blk := rd.blocks[ref.Group]
-		// Reattach the fragment payload to the metadata block so the
-		// decoder can see it.
-		if ref.Plane == 0 {
-			signs, n, err := encoding.GetSection(buf)
-			if err != nil {
-				return rd.bound, err
-			}
-			plane, _, err := encoding.GetSection(buf[n:])
-			if err != nil {
-				return rd.bound, err
-			}
-			blk.Signs = signs
-			blk.Planes[0] = plane
-		} else {
-			plane, _, err := encoding.GetSection(buf)
-			if err != nil {
-				return rd.bound, err
-			}
-			blk.Planes[ref.Plane] = plane
+// ingestPlane fetches scheduled plane fragment i and feeds it to its
+// group's bit-plane decoder.
+func (rd *Reader) ingestPlane(i int) error {
+	ref := rd.src.Schedule[i]
+	buf := rd.ingest(i)
+	blk := rd.blocks[ref.Group]
+	// Reattach the fragment payload to the metadata block so the decoder
+	// can see it.
+	if ref.Plane == 0 {
+		signs, n, err := encoding.GetSection(buf)
+		if err != nil {
+			return err
 		}
-		if err := rd.decs[ref.Group].Advance(ref.Plane + 1); err != nil {
-			return rd.bound, err
+		plane, _, err := encoding.GetSection(buf[n:])
+		if err != nil {
+			return err
 		}
-		rd.nextFrag = i + 1
-		rd.bound = rd.src.PrefixBounds[i]
-		rd.dirty = true
+		blk.Signs = signs
+		blk.Planes[0] = plane
+	} else {
+		plane, _, err := encoding.GetSection(buf)
+		if err != nil {
+			return err
+		}
+		blk.Planes[ref.Plane] = plane
 	}
-	if rd.bound > target && rd.Exhausted() {
-		// Everything retrieved: the bound is the residual truncation bound.
-		rd.bound = rd.pmgardBound()
+	if err := rd.decs[ref.Group].Advance(ref.Plane + 1); err != nil {
+		return err
 	}
-	return rd.bound, nil
+	rd.nextFrag = i + 1
+	rd.bound = rd.src.PrefixBounds[i]
+	rd.dirty = true
+	return nil
 }
 
 func (rd *Reader) pmgardBound() float64 {

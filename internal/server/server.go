@@ -1,0 +1,401 @@
+// Package server implements the fragment service side of the paper's
+// remote-retrieval scenario (§VI-D): refactored archives live at a storage
+// site and are served over HTTP so a compute site can pull exactly the
+// bytes each tolerance needs. The service is stdlib-only and speaks three
+// route families:
+//
+//	GET  /healthz                     liveness + serving statistics (JSON)
+//	GET  /v1/datasets                 served dataset names (JSON)
+//	GET  /v1/d/{ds}/index             dataset index: variables + fragment sizes
+//	GET  /v1/d/{ds}/meta              retrieval metadata blob (binary, CRC)
+//	GET  /v1/d/{ds}/frag/{var}/{idx}  one immutable fragment (ETag, 304)
+//	POST /v1/d/{ds}/frags             batched fragment fetch (binary, CRC)
+//	GET  /v1/store/keys               raw store passthrough: key list
+//	GET  /v1/store/blob/{key}         raw store passthrough: one blob
+//
+// Fragments are immutable once refactored, so single-fragment responses
+// carry strong ETags with far-future cache headers and honor
+// If-None-Match. All responses gzip when the client accepts it. A
+// semaphore bounds in-flight requests; the high-water mark is visible in
+// /healthz.
+package server
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"progqoi/internal/core"
+	"progqoi/internal/storage"
+)
+
+// DefaultMaxInflight bounds concurrent requests when Options.MaxInflight
+// is zero.
+const DefaultMaxInflight = 64
+
+// gzipMin is the smallest payload worth compressing.
+const gzipMin = 512
+
+// Options configures a Server.
+type Options struct {
+	// MaxInflight caps concurrently served requests (default
+	// DefaultMaxInflight); excess requests queue on a semaphore.
+	MaxInflight int
+	// LogRequests emits one log line per request via Logger.
+	LogRequests bool
+	// Logger receives request logs (default log.Default()).
+	Logger *log.Logger
+}
+
+// dataset is one loaded archive with its precomputed wire artifacts.
+type dataset struct {
+	vars     []*core.Variable
+	varIdx   map[string]int
+	index    []byte // JSON Index
+	indexTag string
+	meta     []byte // EncodeMeta blob
+	metaTag  string
+	fragTags [][]string
+}
+
+// Stats is a snapshot of serving counters, exposed at /healthz.
+type Stats struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Datasets      int     `json:"datasets"`
+	Requests      int64   `json:"requests"`
+	Inflight      int64   `json:"inflight"`
+	MaxConcurrent int64   `json:"maxConcurrent"`
+	FragmentBytes int64   `json:"fragmentBytes"`
+}
+
+// Server is an http.Handler serving every archive found in a storage.Store.
+type Server struct {
+	store    storage.Store
+	opts     Options
+	mux      *http.ServeMux
+	sem      chan struct{}
+	datasets map[string]*dataset
+	names    []string
+	start    time.Time
+
+	requests  atomic.Int64
+	inflight  atomic.Int64
+	maxSeen   atomic.Int64
+	fragBytes atomic.Int64
+}
+
+// New scans st for archives (keys ending in ".manifest", as written by
+// storage.WriteArchive) and builds a server over all of them. Fragment
+// data is held in memory: the service exists to make fragment reads cheap.
+func New(st storage.Store, opt Options) (*Server, error) {
+	if opt.MaxInflight <= 0 {
+		opt.MaxInflight = DefaultMaxInflight
+	}
+	if opt.Logger == nil {
+		opt.Logger = log.Default()
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		return nil, fmt.Errorf("server: list store: %w", err)
+	}
+	s := &Server{
+		store:    st,
+		opts:     opt,
+		sem:      make(chan struct{}, opt.MaxInflight),
+		datasets: map[string]*dataset{},
+		start:    time.Now(),
+	}
+	for _, k := range keys {
+		name, ok := strings.CutSuffix(k, ".manifest")
+		if !ok {
+			continue
+		}
+		vars, err := storage.ReadArchive(st, name)
+		if err != nil {
+			return nil, fmt.Errorf("server: load dataset %q: %w", name, err)
+		}
+		ds := &dataset{vars: vars, varIdx: map[string]int{}}
+		idx, err := json.Marshal(BuildIndex(name, vars))
+		if err != nil {
+			return nil, err
+		}
+		ds.index, ds.indexTag = idx, etag(idx)
+		ds.meta = EncodeMeta(vars)
+		ds.metaTag = etag(ds.meta)
+		ds.fragTags = make([][]string, len(vars))
+		for vi, v := range vars {
+			ds.varIdx[v.Name] = vi
+			tags := make([]string, len(v.Ref.Fragments))
+			for fi, f := range v.Ref.Fragments {
+				tags[fi] = etag(f)
+			}
+			ds.fragTags[vi] = tags
+		}
+		s.datasets[name] = ds
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/d/{ds}/index", s.handleIndex)
+	s.mux.HandleFunc("GET /v1/d/{ds}/meta", s.handleMeta)
+	s.mux.HandleFunc("GET /v1/d/{ds}/frag/{vr}/{idx}", s.handleFragment)
+	s.mux.HandleFunc("POST /v1/d/{ds}/frags", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/store/keys", s.handleStoreKeys)
+	s.mux.HandleFunc("GET /v1/store/blob/{key}", s.handleStoreBlob)
+	return s, nil
+}
+
+// Datasets returns the served dataset names.
+func (s *Server) Datasets() []string { return append([]string(nil), s.names...) }
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Datasets:      len(s.datasets),
+		Requests:      s.requests.Load(),
+		Inflight:      s.inflight.Load(),
+		MaxConcurrent: s.maxSeen.Load(),
+		FragmentBytes: s.fragBytes.Load(),
+	}
+}
+
+// ServeHTTP implements http.Handler: bound concurrency, count, dispatch.
+// Liveness probes bypass the semaphore — a saturated-but-healthy server
+// must still answer /healthz, and the stats it reports are atomics that
+// need no slot.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		http.Error(w, "canceled while queued", http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.requests.Add(1)
+	cur := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	for {
+		max := s.maxSeen.Load()
+		if cur <= max || s.maxSeen.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	if s.opts.LogRequests {
+		s.opts.Logger.Printf("progqoid: %s %s from %s", r.Method, r.URL.Path, r.RemoteAddr)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) dataset(w http.ResponseWriter, r *http.Request) *dataset {
+	ds, ok := s.datasets[r.PathValue("ds")]
+	if !ok {
+		http.Error(w, "unknown dataset", http.StatusNotFound)
+		return nil
+	}
+	return ds
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	b, _ := json.Marshal(s.Stats())
+	writeBlob(w, r, b, "", "application/json", false)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	b, _ := json.Marshal(struct {
+		Datasets []string `json:"datasets"`
+	}{s.names})
+	writeBlob(w, r, b, "", "application/json", false)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if ds := s.dataset(w, r); ds != nil {
+		writeBlob(w, r, ds.index, ds.indexTag, "application/json", true)
+	}
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	if ds := s.dataset(w, r); ds != nil {
+		writeBlob(w, r, ds.meta, ds.metaTag, "application/octet-stream", true)
+	}
+}
+
+func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
+	ds := s.dataset(w, r)
+	if ds == nil {
+		return
+	}
+	vi, ok := ds.varIdx[r.PathValue("vr")]
+	if !ok {
+		http.Error(w, "unknown variable", http.StatusNotFound)
+		return
+	}
+	fi, err := strconv.Atoi(r.PathValue("idx"))
+	if err != nil || fi < 0 || fi >= len(ds.vars[vi].Ref.Fragments) {
+		http.Error(w, "fragment index out of range", http.StatusNotFound)
+		return
+	}
+	frag := ds.vars[vi].Ref.Fragments[fi]
+	if writeBlob(w, r, frag, ds.fragTags[vi][fi], "application/octet-stream", true) {
+		s.fragBytes.Add(int64(len(frag)))
+	}
+}
+
+// maxBatchBody bounds the batched request JSON.
+const maxBatchBody = 1 << 20
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ds := s.dataset(w, r)
+	if ds == nil {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err != nil {
+		http.Error(w, "request body too large or unreadable", http.StatusBadRequest)
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var frags []BatchFragment
+	// Dedupe requested (variable, index) pairs: without it a small JSON
+	// body repeating one large fragment index amplifies into an
+	// arbitrarily large response. After dedup the response is bounded by
+	// the dataset's total fragment bytes.
+	type fragID struct {
+		vi, fi int
+	}
+	sent := map[fragID]bool{}
+	for _, want := range req.Wants {
+		vi, ok := ds.varIdx[want.Var]
+		if !ok {
+			http.Error(w, "unknown variable "+want.Var, http.StatusNotFound)
+			return
+		}
+		v := ds.vars[vi]
+		for _, fi := range want.Indices {
+			if fi < 0 || fi >= len(v.Ref.Fragments) {
+				http.Error(w, fmt.Sprintf("fragment %s/%d out of range", want.Var, fi), http.StatusNotFound)
+				return
+			}
+			if sent[fragID{vi, fi}] {
+				continue
+			}
+			sent[fragID{vi, fi}] = true
+			frags = append(frags, BatchFragment{Var: want.Var, Index: fi, Payload: v.Ref.Fragments[fi]})
+			s.fragBytes.Add(int64(len(v.Ref.Fragments[fi])))
+		}
+	}
+	writeBlob(w, r, EncodeBatch(frags), "", "application/octet-stream", false)
+}
+
+func (s *Server) handleStoreKeys(w http.ResponseWriter, r *http.Request) {
+	keys, err := s.store.Keys()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	b, _ := json.Marshal(struct {
+		Keys []string `json:"keys"`
+	}{keys})
+	writeBlob(w, r, b, "", "application/json", false)
+}
+
+func (s *Server) handleStoreBlob(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.store.Get(r.PathValue("key"))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, storage.ErrNotFound) || errors.Is(err, storage.ErrInvalidKey) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeBlob(w, r, blob, etag(blob), "application/octet-stream", true)
+}
+
+// etag builds a strong validator from content checksum + length.
+func etag(b []byte) string {
+	return fmt.Sprintf("\"%08x-%x\"", crc32.Checksum(b, crcTable), len(b))
+}
+
+// writeBlob sends one in-memory payload with conditional-request and
+// compression handling, reporting whether payload bytes were sent (false
+// for a 304 revalidation). Immutable payloads get far-future cache
+// headers; the gzip variant of a strong ETag is suffixed so validators
+// stay unique per representation.
+func writeBlob(w http.ResponseWriter, r *http.Request, blob []byte, tag, contentType string, immutable bool) bool {
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	if tag != "" {
+		h.Set("Vary", "Accept-Encoding")
+		if immutable {
+			h.Set("Cache-Control", "public, max-age=31536000, immutable")
+		}
+		gzTag := strings.TrimSuffix(tag, "\"") + "-gz\""
+		if match := r.Header.Get("If-None-Match"); match != "" {
+			for _, cand := range strings.Split(match, ",") {
+				cand = strings.TrimSpace(cand)
+				if cand == tag || cand == gzTag || cand == "*" {
+					h.Set("ETag", tag)
+					w.WriteHeader(http.StatusNotModified)
+					return false
+				}
+			}
+		}
+		h.Set("ETag", tag)
+	}
+	if len(blob) >= gzipMin && acceptsGzip(r) {
+		if tag != "" {
+			h.Set("ETag", strings.TrimSuffix(tag, "\"")+"-gz\"")
+		}
+		h.Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		gz.Write(blob) //nolint:errcheck // client disconnects surface in Close
+		gz.Close()     //nolint:errcheck
+		return true
+	}
+	h.Set("Content-Length", strconv.Itoa(len(blob)))
+	w.Write(blob) //nolint:errcheck
+	return true
+}
+
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		e := strings.TrimSpace(enc)
+		if e != "gzip" && !strings.HasPrefix(e, "gzip;") {
+			continue
+		}
+		// Honor an explicit refusal: "gzip;q=0" (with any number of
+		// trailing zeros) declines the encoding per RFC 9110.
+		for _, p := range strings.Split(e, ";")[1:] {
+			p = strings.TrimSpace(p)
+			if q, ok := strings.CutPrefix(p, "q="); ok && strings.Trim(q, "0.") == "" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"progqoi/internal/core"
+	"progqoi/internal/datagen"
+	"progqoi/internal/progressive"
+	"progqoi/internal/storage"
+)
+
+func testVars(t *testing.T) []*core.Variable {
+	t.Helper()
+	ds := datagen.GE("GE-srv", 4, 128, 11)
+	vars, err := core.RefactorVariables(ds.FieldNames, ds.Fields, ds.Dims, core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vars
+}
+
+func testServer(t *testing.T, opt Options) (*httptest.Server, *Server, []*core.Variable) {
+	t.Helper()
+	vars := testVars(t)
+	st := storage.NewMemStore()
+	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return hs, srv, vars
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestDatasetsAndIndex(t *testing.T) {
+	hs, _, vars := testServer(t, Options{})
+	resp, body := get(t, hs.URL+"/v1/datasets")
+	if resp.StatusCode != 200 {
+		t.Fatalf("datasets: %s", resp.Status)
+	}
+	var dl struct {
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.Unmarshal(body, &dl); err != nil {
+		t.Fatal(err)
+	}
+	if len(dl.Datasets) != 1 || dl.Datasets[0] != "ge" {
+		t.Fatalf("datasets = %v", dl.Datasets)
+	}
+
+	resp, body = get(t, hs.URL+"/v1/d/ge/index")
+	if resp.StatusCode != 200 {
+		t.Fatalf("index: %s", resp.Status)
+	}
+	var idx Index
+	if err := json.Unmarshal(body, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Dataset != "ge" || len(idx.Variables) != len(vars) {
+		t.Fatalf("index = %+v", idx)
+	}
+	for i, iv := range idx.Variables {
+		if iv.Name != vars[i].Name {
+			t.Errorf("variable %d = %q, want %q", i, iv.Name, vars[i].Name)
+		}
+		if len(iv.FragmentSizes) != len(vars[i].Ref.Fragments) {
+			t.Errorf("%s: %d sizes for %d fragments", iv.Name, len(iv.FragmentSizes), len(vars[i].Ref.Fragments))
+		}
+		if iv.TotalBytes != vars[i].Ref.TotalBytes() {
+			t.Errorf("%s: totalBytes %d, want %d", iv.Name, iv.TotalBytes, vars[i].Ref.TotalBytes())
+		}
+	}
+
+	resp, _ = get(t, hs.URL+"/v1/d/nope/index")
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown dataset: %s", resp.Status)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	hs, _, vars := testServer(t, Options{})
+	resp, body := get(t, hs.URL+"/v1/d/ge/meta")
+	if resp.StatusCode != 200 {
+		t.Fatalf("meta: %s", resp.Status)
+	}
+	got, err := DecodeMeta(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vars) {
+		t.Fatalf("%d meta variables, want %d", len(got), len(vars))
+	}
+	for i, v := range got {
+		want := vars[i]
+		if v.Name != want.Name || v.Range != want.Range {
+			t.Errorf("meta %d: name/range %q/%g, want %q/%g", i, v.Name, v.Range, want.Name, want.Range)
+		}
+		if (v.ZeroMask == nil) != (want.ZeroMask == nil) {
+			t.Errorf("meta %s: zero-mask presence mismatch", v.Name)
+		}
+		if len(v.Ref.Fragments) != len(want.Ref.Fragments) {
+			t.Errorf("meta %s: %d fragments, want %d", v.Name, len(v.Ref.Fragments), len(want.Ref.Fragments))
+		}
+		for fi, f := range v.Ref.Fragments {
+			if len(f) != 0 {
+				t.Fatalf("meta %s fragment %d not stripped (%d bytes)", v.Name, fi, len(f))
+			}
+		}
+	}
+}
+
+func TestFragmentETagAnd304(t *testing.T) {
+	hs, srv, vars := testServer(t, Options{})
+	url := hs.URL + "/v1/d/ge/frag/" + vars[0].Name + "/0"
+	resp, body := get(t, url)
+	if resp.StatusCode != 200 {
+		t.Fatalf("frag: %s", resp.Status)
+	}
+	if !bytes.Equal(body, vars[0].Ref.Fragments[0]) {
+		t.Fatal("fragment payload mismatch")
+	}
+	tag := resp.Header.Get("ETag")
+	if tag == "" {
+		t.Fatal("no ETag on immutable fragment")
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc == "" {
+		t.Fatal("no Cache-Control on immutable fragment")
+	}
+
+	req, _ := http.NewRequest("GET", url, nil)
+	req.Header.Set("If-None-Match", tag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified || len(b2) != 0 {
+		t.Fatalf("conditional GET: %s with %d bytes, want 304 empty", resp2.Status, len(b2))
+	}
+
+	resp3, _ := get(t, hs.URL+"/v1/d/ge/frag/"+vars[0].Name+"/999999")
+	if resp3.StatusCode != 404 {
+		t.Fatalf("out-of-range fragment: %s", resp3.Status)
+	}
+
+	// A 304 revalidation ships no payload, so it must not inflate the
+	// fragment-bytes stat.
+	served := srv.Stats().FragmentBytes
+	req2, _ := http.NewRequest("GET", url, nil)
+	req2.Header.Set("If-None-Match", tag)
+	resp4, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if got := srv.Stats().FragmentBytes; got != served {
+		t.Fatalf("304 revalidation grew FragmentBytes %d -> %d", served, got)
+	}
+}
+
+func TestBatchFetch(t *testing.T) {
+	hs, _, vars := testServer(t, Options{})
+	req := BatchRequest{Wants: []BatchWant{
+		{Var: vars[0].Name, Indices: []int{0, 1, 2}},
+		{Var: vars[1].Name, Indices: []int{0}},
+	}}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(hs.URL+"/v1/d/ge/frags", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %s", resp.Status)
+	}
+	frags, err := DecodeBatch(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 4 {
+		t.Fatalf("%d fragments, want 4", len(frags))
+	}
+	for _, f := range frags {
+		var v *core.Variable
+		for _, cand := range vars {
+			if cand.Name == f.Var {
+				v = cand
+			}
+		}
+		if v == nil || !bytes.Equal(f.Payload, v.Ref.Fragments[f.Index]) {
+			t.Fatalf("batch fragment %s/%d mismatch", f.Var, f.Index)
+		}
+	}
+
+	bad, _ := json.Marshal(BatchRequest{Wants: []BatchWant{{Var: "nope", Indices: []int{0}}}})
+	resp2, err := http.Post(hs.URL+"/v1/d/ge/frags", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body) //nolint:errcheck
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("unknown variable batch: %s", resp2.Status)
+	}
+}
+
+func TestGzipResponses(t *testing.T) {
+	hs, _, _ := testServer(t, Options{})
+	_, plain := get(t, hs.URL+"/v1/d/ge/meta")
+
+	tr := &http.Transport{DisableCompression: true}
+	req, _ := http.NewRequest("GET", hs.URL+"/v1/d/ge/meta", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := (&http.Client{Transport: tr}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	gr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unzipped, plain) {
+		t.Fatal("gzip round trip does not match identity response")
+	}
+
+	// An explicit q=0 refusal must get the identity encoding.
+	req2, _ := http.NewRequest("GET", hs.URL+"/v1/d/ge/meta", nil)
+	req2.Header.Set("Accept-Encoding", "gzip;q=0")
+	resp2, err := (&http.Client{Transport: tr}).Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if enc := resp2.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("gzip;q=0 got Content-Encoding %q, want identity", enc)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	if !bytes.Equal(body2, plain) {
+		t.Fatal("identity response after q=0 does not match")
+	}
+}
+
+// gateStore blocks Get calls (after construction) until released, so the
+// test can observe the concurrency limiter holding requests back.
+type gateStore struct {
+	storage.Store
+	mu      sync.Mutex
+	armed   bool
+	started chan string
+	release chan struct{}
+}
+
+func (g *gateStore) Get(key string) ([]byte, error) {
+	g.mu.Lock()
+	armed := g.armed
+	g.mu.Unlock()
+	if armed {
+		g.started <- key
+		<-g.release
+	}
+	return g.Store.Get(key)
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	vars := testVars(t)
+	mem := storage.NewMemStore()
+	if err := storage.WriteArchive(mem, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	gs := &gateStore{Store: mem, started: make(chan string, 16), release: make(chan struct{})}
+	srv, err := New(gs, Options{MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs.mu.Lock()
+	gs.armed = true
+	gs.mu.Unlock()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(hs.URL + "/v1/store/blob/ge.manifest")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Exactly MaxInflight requests may reach the store; the rest must queue
+	// on the semaphore.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-gs.started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("handlers never reached the store")
+		}
+	}
+	select {
+	case k := <-gs.started:
+		t.Fatalf("third request (%s) passed a MaxInflight=2 limiter", k)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gs.release)
+	wg.Wait()
+	if max := srv.Stats().MaxConcurrent; max > 2 {
+		t.Fatalf("max concurrent %d, want <= 2", max)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	hs, _, _ := testServer(t, Options{})
+	resp, body := get(t, hs.URL+"/healthz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || st.Datasets != 1 {
+		t.Fatalf("healthz = %+v", st)
+	}
+}
+
+func TestWireCodecsRejectCorruption(t *testing.T) {
+	vars := testVars(t)
+	meta := EncodeMeta(vars)
+	for _, mut := range []int{0, len(meta) / 2, len(meta) - 1} {
+		bad := append([]byte(nil), meta...)
+		bad[mut] ^= 0x40
+		if _, err := DecodeMeta(bad); err == nil {
+			t.Fatalf("corrupt meta (byte %d) accepted", mut)
+		}
+	}
+	if _, err := DecodeMeta(meta[:len(meta)-3]); err == nil {
+		t.Fatal("truncated meta accepted")
+	}
+	batch := EncodeBatch([]BatchFragment{{Var: "Vx", Index: 3, Payload: []byte("abc")}})
+	if frags, err := DecodeBatch(batch); err != nil || len(frags) != 1 || frags[0].Index != 3 {
+		t.Fatalf("batch round trip: %v %v", frags, err)
+	}
+	if _, err := DecodeBatch(batch[:len(batch)-2]); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+}
+
+func ExampleBuildIndex() {
+	idx := BuildIndex("demo", nil)
+	fmt.Println(idx.Dataset, len(idx.Variables))
+	// Output: demo 0
+}

@@ -35,6 +35,9 @@ import (
 // ErrNotFound reports a missing key.
 var ErrNotFound = errors.New("storage: not found")
 
+// ErrInvalidKey reports a key outside the safe character set.
+var ErrInvalidKey = errors.New("storage: invalid key")
+
 // Store is a minimal fragment store.
 type Store interface {
 	// Put writes a value under key (overwrites).
@@ -101,18 +104,18 @@ func NewDirStore(root string) (*DirStore, error) {
 
 func validKey(key string) error {
 	if key == "" || len(key) > 200 {
-		return fmt.Errorf("storage: invalid key %q", key)
+		return fmt.Errorf("%w: %q", ErrInvalidKey, key)
 	}
 	for _, r := range key {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '-', r == '_', r == '.':
 		default:
-			return fmt.Errorf("storage: invalid key character %q in %q", r, key)
+			return fmt.Errorf("%w: character %q in %q", ErrInvalidKey, r, key)
 		}
 	}
 	if key[0] == '.' {
-		return fmt.Errorf("storage: key %q may not start with a dot", key)
+		return fmt.Errorf("%w: %q may not start with a dot", ErrInvalidKey, key)
 	}
 	return nil
 }
@@ -258,6 +261,15 @@ func checkCRC(raw []byte) ([]byte, error) {
 	}
 	return blob, nil
 }
+
+// EncodeVariable serializes one refactored variable — name, range, zero
+// mask, progressive representation — into a standalone blob readable by
+// DecodeVariable. The fragment service uses it (with fragment payloads
+// stripped) to ship retrieval metadata to remote clients.
+func EncodeVariable(v *core.Variable) []byte { return marshalVariable(v) }
+
+// DecodeVariable parses an EncodeVariable blob.
+func DecodeVariable(blob []byte) (*core.Variable, error) { return unmarshalVariable(blob) }
 
 // marshalVariable serializes a core.Variable: name, range, zero mask, and
 // its refactored representation.

@@ -24,11 +24,31 @@
 // square root, the radical 1/(x+c), addition, multiplication, division and
 // composition — enough for total velocity, temperature, Mach number, total
 // pressure, viscosity, molar-concentration products, and far more.
+//
+// # Remote retrieval
+//
+// The paper's headline scenario keeps the refactored fragments at a
+// storage site and pulls only the bytes each tolerance needs. Serve an
+// archive directory with the progqoid daemon (cmd/progqoid) and open it
+// over the wire:
+//
+//	archive, err := progqoi.OpenRemote("http://storage-site:9123", "ge")
+//	sess, err := archive.Open(nil)
+//	res, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{1e-4})
+//
+// A remote session certifies the same error bounds and reconstructs the
+// same bytes as a local one; fragment fetches are batched into one HTTP
+// round trip per retrieval iteration, cached in a byte-bounded LRU shared
+// by all sessions of the archive, and coalesced across concurrent
+// sessions. Archive.RemoteStats reports actual wire bytes next to each
+// session's logical RetrievedBytes.
 package progqoi
 
 import (
 	"fmt"
+	"net/http"
 
+	"progqoi/internal/client"
 	"progqoi/internal/core"
 	"progqoi/internal/progressive"
 	"progqoi/internal/qoi"
@@ -113,12 +133,73 @@ func WithSnapshotBounds(ebs []float64) Option {
 // so any tolerance is reachable (default on).
 func WithLosslessTail(on bool) Option { return func(o *options) { o.tail = on } }
 
-// Archive is a set of refactored variables sharing one grid.
+// Archive is a set of refactored variables sharing one grid. A local
+// Archive comes from Refactor; a remote one from OpenRemote, in which case
+// sessions fetch fragment payloads over the wire as they need them.
 type Archive struct {
 	vars   []*core.Variable
 	names  []string
 	dims   []int
 	fields int
+	remote *client.Remote
+}
+
+// RemoteConfig tunes OpenRemote; the zero value uses the defaults of the
+// remote client (30 s HTTP timeout, 3 retries with exponential backoff,
+// 64 MiB fragment cache).
+type RemoteConfig struct {
+	// CacheBytes bounds the fragment LRU cache shared by all sessions of
+	// this archive (negative disables caching).
+	CacheBytes int64
+	// MaxRetries re-attempts failed requests (negative disables retries).
+	MaxRetries int
+	// HTTPClient overrides the transport.
+	HTTPClient *http.Client
+}
+
+// RemoteStats snapshots a remote archive's wire accounting: fragment
+// payload bytes fetched over HTTP (the same unit as RetrievedBytes;
+// transport compression not deducted), cache hits (free), and coalesced
+// fetches shared between concurrent sessions. Compare WireBytes with a
+// session's RetrievedBytes to see what the cache saved.
+type RemoteStats = client.Stats
+
+// OpenRemote opens a dataset hosted by a progqoid fragment service (see
+// cmd/progqoid). Only retrieval metadata crosses the wire up front;
+// sessions opened with Archive.Open then pull exactly the fragments each
+// tolerance needs, batched into one request per retrieval iteration.
+func OpenRemote(baseURL, dataset string, cfg ...RemoteConfig) (*Archive, error) {
+	var rc RemoteConfig
+	if len(cfg) > 0 {
+		rc = cfg[0]
+	}
+	rem, err := client.Open(baseURL, dataset, client.Options{
+		CacheBytes: rc.CacheBytes,
+		MaxRetries: rc.MaxRetries,
+		HTTPClient: rc.HTTPClient,
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := rem.FieldNames()
+	return &Archive{
+		names:  names,
+		dims:   rem.Dims(),
+		fields: len(names),
+		remote: rem,
+	}, nil
+}
+
+// Remote reports whether the archive retrieves over the network.
+func (a *Archive) Remote() bool { return a.remote != nil }
+
+// RemoteStats returns the wire accounting of a remote archive (zero for
+// local archives).
+func (a *Archive) RemoteStats() RemoteStats {
+	if a.remote == nil {
+		return RemoteStats{}
+	}
+	return a.remote.Client().Stats()
 }
 
 // Refactor transforms fields (row-major on dims, one slice per field) into
@@ -149,8 +230,12 @@ func (a *Archive) FieldNames() []string { return append([]string(nil), a.names..
 // Dims returns the grid shape.
 func (a *Archive) Dims() []int { return append([]int(nil), a.dims...) }
 
-// StoredBytes returns the total fragment bytes across all variables.
+// StoredBytes returns the total fragment bytes across all variables (for
+// remote archives: the bytes held at the storage site, not yet fetched).
 func (a *Archive) StoredBytes() int64 {
+	if a.remote != nil {
+		return a.remote.StoredBytes()
+	}
 	var n int64
 	for _, v := range a.vars {
 		n += v.Ref.TotalBytes()
@@ -159,7 +244,8 @@ func (a *Archive) StoredBytes() int64 {
 }
 
 // Variables exposes the underlying refactored variables (advanced use:
-// custom retrievers, storage layers, transfer simulation).
+// custom retrievers, storage layers, transfer simulation). Remote archives
+// hold no local variables and return nil.
 func (a *Archive) Variables() []*core.Variable { return a.vars }
 
 // FetchObserver sees every fragment fetch (index within its variable,
@@ -176,13 +262,24 @@ type Session struct {
 	rt *core.Retriever
 }
 
-// Open starts a retrieval session over the archive. fetch may be nil.
+// Open starts a retrieval session over the archive. fetch may be nil. On a
+// remote archive the session's fragment fetches cross the wire, batched
+// into one request per retrieval iteration; concurrent sessions share the
+// archive's fragment cache and coalesce duplicate fetches.
 func (a *Archive) Open(fetch FetchObserver, cfg ...SessionConfig) (*Session, error) {
 	var c core.Config
 	if len(cfg) > 0 {
 		c = cfg[0]
 	}
-	rt, err := core.NewRetriever(a.vars, c, fetch)
+	var (
+		rt  *core.Retriever
+		err error
+	)
+	if a.remote != nil {
+		rt, err = a.remote.NewSession(fetch, c)
+	} else {
+		rt, err = core.NewRetriever(a.vars, c, fetch)
+	}
 	if err != nil {
 		return nil, err
 	}
