@@ -7,6 +7,7 @@ package progqoi
 // full-scale rows.
 
 import (
+	"context"
 	"testing"
 
 	"progqoi/internal/core"
@@ -79,7 +80,7 @@ func retrieveVTOT(b *testing.B, vars []*core.Variable, cfg core.Config, rel floa
 	}
 	vtot := []qoi.QoI{ds.QoIs[0]}
 	ranges := core.QoIRanges(vtot, ds.Fields)
-	res, err := rt.Retrieve(core.Request{
+	res, err := rt.Retrieve(context.Background(), core.Request{
 		QoIs:       vtot,
 		Tolerances: []float64{rel * ranges[0]},
 		InitRel:    []float64{rel},
@@ -208,7 +209,7 @@ func BenchmarkAblationMaskOff(b *testing.B) {
 		}
 		vtot := []qoi.QoI{ds.QoIs[0]}
 		ranges := core.QoIRanges(vtot, ds.Fields)
-		res, _ := rt.Retrieve(core.Request{
+		res, _ := rt.Retrieve(context.Background(), core.Request{
 			QoIs:       vtot,
 			Tolerances: []float64{1e-3 * ranges[0]},
 			InitRel:    []float64{1e-3},

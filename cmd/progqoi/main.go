@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"progqoi"
 	"progqoi/internal/core"
@@ -71,8 +73,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   progqoi refactor -dims NxMx... [-method NAME] -out OUT.pq IN.f64
   progqoi pack -dims NxMx... -dataset NAME -fields A,B,... -store DIR [-method NAME] IN1.f64 IN2.f64 ...
-  progqoi retrieve -qoi FORMULA -tol T -fields A,B,... [-out PREFIX] IN1.pq IN2.pq ...
-  progqoi retrieve -remote URL -dataset NAME -qoi FORMULA -tol T [-out PREFIX]
+  progqoi retrieve -qoi FORMULA -tol T -fields A,B,... [-timeout D] [-progress] [-out PREFIX] IN1.pq IN2.pq ...
+  progqoi retrieve -remote URL -dataset NAME -qoi FORMULA -tol T [-timeout D] [-progress] [-out PREFIX]
   progqoi info IN.pq
   progqoi verify IN.pq ORIGINAL.f64
 methods: psz3, psz3-delta, pmgard, pmgard-hb (default)`)
@@ -256,10 +258,23 @@ func writeRecons(names []string, data [][]float64, outPrefix string) error {
 	return nil
 }
 
+// progressPrinter returns an OnProgress callback that renders one line per
+// certify-loop iteration.
+func progressPrinter() func(progqoi.Iteration) {
+	return func(it progqoi.Iteration) {
+		wire := ""
+		if it.WireBytes > 0 {
+			wire = fmt.Sprintf(", wire %d B", it.WireBytes)
+		}
+		fmt.Fprintf(os.Stderr, "  iter %2d: est %s, retrieved %d B%s\n",
+			it.N, stats.FormatG(it.EstErrors[0]), it.RetrievedBytes, wire)
+	}
+}
+
 // cmdRetrieveRemote runs the retrieval against a progqoid fragment
 // service instead of local archive files.
-func cmdRetrieveRemote(remote, dataset, formula string, tol float64, outPrefix string) error {
-	arch, err := progqoi.OpenRemote(remote, dataset)
+func cmdRetrieveRemote(ctx context.Context, remote, dataset, formula string, tol float64, outPrefix string, progress bool) error {
+	arch, err := progqoi.OpenRemote(ctx, remote, dataset)
 	if err != nil {
 		return err
 	}
@@ -268,11 +283,15 @@ func cmdRetrieveRemote(remote, dataset, formula string, tol float64, outPrefix s
 	if err != nil {
 		return err
 	}
-	sess, err := arch.Open(nil)
+	sess, err := arch.Open()
 	if err != nil {
 		return err
 	}
-	res, err := sess.Retrieve([]progqoi.QoI{q}, []float64{tol})
+	req := progqoi.Request{Targets: []progqoi.Target{{QoI: q, Tolerance: tol}}}
+	if progress {
+		req.OnProgress = progressPrinter()
+	}
+	res, err := sess.Do(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -294,14 +313,22 @@ func cmdRetrieve(args []string) error {
 	outPrefix := fs.String("out", "", "write reconstructed fields to PREFIX_<field>.f64")
 	remote := fs.String("remote", "", "base URL of a progqoid fragment service")
 	dataset := fs.String("dataset", "", "dataset name on the remote service")
+	timeout := fs.Duration("timeout", time.Duration(0), "abort the retrieval after this long (0 = no limit)")
+	progress := fs.Bool("progress", false, "print one line per retrieval iteration")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *remote != "" {
 		if *dataset == "" || *formula == "" || !(*tol > 0) || fs.NArg() != 0 {
 			return fmt.Errorf("remote retrieve needs -dataset, -qoi, -tol > 0 and no archive files")
 		}
-		return cmdRetrieveRemote(*remote, *dataset, *formula, *tol, *outPrefix)
+		return cmdRetrieveRemote(ctx, *remote, *dataset, *formula, *tol, *outPrefix, *progress)
 	}
 	names := strings.Split(*fieldsStr, ",")
 	if fs.NArg() == 0 || *formula == "" || !(*tol > 0) || len(names) != fs.NArg() {
@@ -333,10 +360,14 @@ func cmdRetrieve(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := rt.Retrieve(core.Request{
+	creq := core.Request{
 		QoIs:       []qoi.QoI{{Name: "qoi", Expr: expr}},
 		Tolerances: []float64{*tol},
-	})
+	}
+	if *progress {
+		creq.OnProgress = progressPrinter()
+	}
+	res, err := rt.Retrieve(ctx, creq)
 	if err != nil {
 		return err
 	}
@@ -382,7 +413,7 @@ func cmdVerify(args []string) error {
 	violations := 0
 	for i := 1; i <= 14; i++ {
 		target := rng * math.Pow(10, -float64(i))
-		bound, err := rd.Advance(target)
+		bound, err := rd.Advance(context.Background(), target)
 		if err != nil {
 			return err
 		}

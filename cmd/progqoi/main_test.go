@@ -1,8 +1,11 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -133,6 +136,35 @@ func TestCommandValidation(t *testing.T) {
 	}
 	if err := cmdVerify([]string{"one"}); err == nil {
 		t.Error("verify with one arg accepted")
+	}
+}
+
+// TestRetrieveTimeoutFlag drives the context plumbing end to end from the
+// CLI: a generous -timeout succeeds, and against a stalled fragment
+// service the deadline aborts the retrieval with DeadlineExceeded.
+func TestRetrieveTimeoutFlag(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.f64")
+	arch := filepath.Join(dir, "x.pq")
+	writeField(t, in, 2000)
+	if err := cmdRefactor([]string{"-dims", "2000", "-out", arch, in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRetrieve([]string{"-timeout", "1m", "-progress",
+		"-qoi", "sqrt(x^2+1)", "-tol", "1e-3", "-fields", "x", arch}); err != nil {
+		t.Fatalf("generous timeout failed: %v", err)
+	}
+
+	// A server that never answers: the handler parks until the client's
+	// deadline tears the request down.
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer stalled.Close()
+	err := cmdRetrieve([]string{"-remote", stalled.URL, "-dataset", "ge",
+		"-qoi", "x", "-tol", "1e-3", "-timeout", "100ms"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from stalled remote, got %v", err)
 	}
 }
 

@@ -66,7 +66,9 @@ func run(args []string) error {
 	log.Printf("progqoid: serving %d dataset(s) %v from %s on %s (limit %d)",
 		len(names), names, *dir, *addr, *limit)
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	// ReadHeaderTimeout keeps a slow-loris peer from pinning a connection
+	// forever; fragment bodies themselves are never read by the server.
+	hs := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)

@@ -4,6 +4,7 @@ package progqoi_test
 // checks the printed output, so the documentation cannot rot.
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -32,7 +33,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := arch.Open(nil)
+	sess, err := arch.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,6 +65,48 @@ func ExampleParseQoI() {
 	// 1.758460
 }
 
+// ExampleSession_Do composes one request from heterogeneous targets — a
+// relative tolerance over a region of interest next to an absolute
+// whole-domain tolerance — and streams per-iteration progress. The context
+// would cancel or deadline the retrieval end to end, including in-flight
+// HTTP fetches on a remote archive.
+func ExampleSession_Do() {
+	names, fields := demo3Fields(4096)
+	arch, err := progqoi.Refactor(names, fields, []int{4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := arch.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vtot := progqoi.TotalVelocity(0, 1, 2)
+	vx2, err := progqoi.ParseQoI("Vx2", "Vx^2", names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranges := progqoi.QoIRanges([]progqoi.QoI{vtot}, fields)
+
+	progressed := 0
+	res, err := sess.Do(context.Background(), progqoi.Request{
+		Targets: []progqoi.Target{
+			{QoI: vtot, Tolerance: 1e-6, Relative: true, Range: ranges[0], Region: progqoi.Region{Lo: 0, Hi: 1024}},
+			{QoI: vx2, Tolerance: 1e-2},
+		},
+		OnProgress: func(it progqoi.Iteration) { progressed = it.N },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("certified:", res.ToleranceMet)
+	fmt.Println("progress streamed:", progressed == res.Iterations && progressed > 0)
+	fmt.Println("region bound tight:", res.EstErrors[0] <= 1e-6*ranges[0])
+	// Output:
+	// certified: true
+	// progress streamed: true
+	// region bound tight: true
+}
+
 // ExampleSession_Retrieve shows incremental tightening: the second request
 // reuses every byte the first one fetched.
 func ExampleSession_Retrieve() {
@@ -72,7 +115,7 @@ func ExampleSession_Retrieve() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := arch.Open(nil)
+	sess, err := arch.Open()
 	if err != nil {
 		log.Fatal(err)
 	}

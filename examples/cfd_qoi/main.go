@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := arch.Open(nil)
+	sess, err := arch.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,9 +33,14 @@ func main() {
 	ranges := progqoi.QoIRanges(qois, ds.Fields)
 
 	// Mixed requirements, like a real analysis campaign: temperature and
-	// viscosity tight, total pressure loose.
+	// viscosity tight, total pressure loose — one relative Target per QoI,
+	// certified together in a single Do call.
 	rels := []float64{1e-4, 1e-6, 1e-5, 1e-4, 1e-3, 1e-6}
-	res, err := sess.RetrieveRelative(qois, rels, ranges)
+	targets := make([]progqoi.Target, len(qois))
+	for k := range qois {
+		targets[k] = progqoi.Target{QoI: qois[k], Tolerance: rels[k], Relative: true, Range: ranges[k]}
+	}
+	res, err := sess.Do(context.Background(), progqoi.Request{Targets: targets})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := arch.Open(nil)
+	sess, err := arch.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,8 +34,11 @@ func main() {
 	raw := float64(ds.TotalBytes())
 
 	for _, rel := range []float64{1e-3, 1e-5, 1e-7} {
-		rels := []float64{rel, rel, rel, rel}
-		res, err := sess.RetrieveRelative(qois, rels, ranges)
+		targets := make([]progqoi.Target, len(qois))
+		for k := range qois {
+			targets[k] = progqoi.Target{QoI: qois[k], Tolerance: rel, Relative: true, Range: ranges[k]}
+		}
+		res, err := sess.Do(context.Background(), progqoi.Request{Targets: targets})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -36,7 +37,9 @@ func main() {
 	fmt.Printf("archive: %d bytes stored (raw data: %d bytes)\n", arch.StoredBytes(), raw)
 
 	// Consumer side: ask for the total velocity within an error tolerance.
-	sess, err := arch.Open(nil)
+	// Each request is a Do call: a set of targets under one context, with
+	// optional per-iteration progress streaming.
+	sess, err := arch.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,8 +48,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	for _, tol := range []float64{1e-2, 1e-5} {
-		res, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{tol})
+		res, err := sess.Do(ctx, progqoi.Request{
+			Targets: []progqoi.Target{{QoI: vtot, Tolerance: tol}},
+			OnProgress: func(it progqoi.Iteration) {
+				fmt.Printf("  … iter %d: est %.2e, %d bytes so far\n",
+					it.N, it.EstErrors[0], it.RetrievedBytes)
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 	// of interest (tight VTOT); everywhere we keep a loose VTOT and a
 	// moderate log-kinetic-energy bound.
 	retrieve := func(b int, tightVTOT bool) int64 {
-		sess, err := archives[b].Open(nil)
+		sess, err := archives[b].Open()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -63,10 +64,10 @@ func main() {
 		if tightVTOT {
 			relV = 1e-6
 		}
-		res, err := sess.RetrieveRelative(
-			[]progqoi.QoI{vtot, logKE},
-			[]float64{relV, 1e-4},
-			ranges)
+		res, err := sess.Do(context.Background(), progqoi.Request{Targets: []progqoi.Target{
+			{QoI: vtot, Tolerance: relV, Relative: true, Range: ranges[0]},
+			{QoI: logKE, Tolerance: 1e-4, Relative: true, Range: ranges[1]},
+		}})
 		if err != nil {
 			log.Fatal(err)
 		}

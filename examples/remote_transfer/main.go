@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -70,7 +71,7 @@ func main() {
 		}
 		remotes = make([]*progqoi.Archive, workers)
 		for b := 0; b < workers; b++ {
-			arch, err := progqoi.OpenRemote(base, fmt.Sprintf("block%d", b))
+			arch, err := progqoi.OpenRemote(context.Background(), base, fmt.Sprintf("block%d", b))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -92,7 +93,7 @@ func main() {
 	fmt.Println(hdr)
 	for _, rel := range []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5} {
 		res, err := netsim.Run(workers, workers, link, func(b int, rec *netsim.Recorder) error {
-			sess, err := archives[b].Open(rec.Observe)
+			sess, err := archives[b].Open(progqoi.WithFetchObserver(rec.Observe))
 			if err != nil {
 				return err
 			}
@@ -108,7 +109,7 @@ func main() {
 			var wire, hits int64
 			for b := 0; b < workers; b++ {
 				before := remotes[b].RemoteStats()
-				sess, err := remotes[b].Open(nil)
+				sess, err := remotes[b].Open()
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -136,7 +137,9 @@ func retrieveBlock(sess *progqoi.Session, vtot progqoi.QoI, rel float64, fields 
 	if ranges[0] == 0 {
 		ranges[0] = 1
 	}
-	_, err := sess.RetrieveRelative([]progqoi.QoI{vtot}, []float64{rel}, ranges)
+	_, err := sess.Do(context.Background(), progqoi.Request{Targets: []progqoi.Target{
+		{QoI: vtot, Tolerance: rel, Relative: true, Range: ranges[0]},
+	}})
 	return err
 }
 

@@ -6,6 +6,7 @@ package progqoi
 // result agreement.
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -35,7 +36,7 @@ func TestConcurrentSessionsOverOneArchive(t *testing.T) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			sess, err := arch.Open(nil)
+			sess, err := arch.Open()
 			if err != nil {
 				errs[s] = err
 				return
@@ -103,7 +104,7 @@ func TestStorageToRetrievalPipeline(t *testing.T) {
 		rels[k] = 1e-6
 		tols[k] = rels[k] * ranges[k]
 	}
-	res, err := rt.Retrieve(core.Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+	res, err := rt.Retrieve(context.Background(), core.Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCorruptedFragmentFailsLoudly(t *testing.T) {
 			t.Fatal(err)
 		}
 		vtot := []qoi.QoI{ds.QoIs[0]}
-		_, err = rt.Retrieve(core.Request{
+		_, err = rt.Retrieve(context.Background(), core.Request{
 			QoIs:       vtot,
 			Tolerances: []float64{1e-6},
 			InitRel:    []float64{1e-6},
@@ -172,7 +173,7 @@ func TestMethodsAgreeOnReconstruction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sess, _ := arch.Open(nil)
+		sess, _ := arch.Open()
 		res, err := sess.Retrieve([]QoI{vtot}, []float64{tol})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
@@ -198,8 +199,8 @@ func TestSessionIsolation(t *testing.T) {
 	}
 	vtot := TotalVelocity(0, 1, 2)
 	ranges := QoIRanges([]QoI{vtot}, ds.Fields)
-	s1, _ := arch.Open(nil)
-	s2, _ := arch.Open(nil)
+	s1, _ := arch.Open()
+	s2, _ := arch.Open()
 	if _, err := s1.RetrieveRelative([]QoI{vtot}, []float64{1e-8}, ranges); err != nil {
 		t.Fatal(err)
 	}

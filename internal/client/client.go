@@ -14,7 +14,9 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -170,20 +172,31 @@ func (e *HTTPError) Error() string {
 
 // do issues one request with bounded retry/backoff. Transport errors,
 // truncated bodies, and 5xx responses retry; other non-200 statuses fail
-// immediately with *HTTPError.
-func (c *Client) do(method, path string, body []byte, contentType string) ([]byte, error) {
+// immediately with *HTTPError. ctx cancels the in-flight request and any
+// backoff wait: once ctx is done no further attempts are made and the
+// context's error is returned.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var lastErr error
 	backoff := c.opts.RetryBackoff
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+			case <-t.C:
+			}
 			backoff *= 2
 		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequest(method, c.base+path, rd)
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 		if err != nil {
 			return nil, err
 		}
@@ -193,6 +206,11 @@ func (c *Client) do(method, path string, body []byte, contentType string) ([]byt
 		c.wireRequests.Add(1)
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The caller walked away; surface its reason, not the
+				// transport's wrapping of the aborted socket.
+				return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+			}
 			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
 			continue
 		}
@@ -205,6 +223,9 @@ func (c *Client) do(method, path string, body []byte, contentType string) ([]byt
 		case resp.StatusCode != http.StatusOK:
 			return nil, fmt.Errorf("client: %s %s: %w", method, path, &HTTPError{Status: resp.StatusCode, Msg: string(data)})
 		case rerr != nil:
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+			}
 			lastErr = fmt.Errorf("client: %s %s: truncated body: %w", method, path, rerr)
 			continue
 		}
@@ -214,8 +235,8 @@ func (c *Client) do(method, path string, body []byte, contentType string) ([]byt
 }
 
 // Health fetches the service's /healthz stats.
-func (c *Client) Health() (*server.Stats, error) {
-	b, err := c.do("GET", "/healthz", nil, "")
+func (c *Client) Health(ctx context.Context) (*server.Stats, error) {
+	b, err := c.do(ctx, "GET", "/healthz", nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -227,8 +248,8 @@ func (c *Client) Health() (*server.Stats, error) {
 }
 
 // Datasets lists the datasets the service hosts.
-func (c *Client) Datasets() ([]string, error) {
-	b, err := c.do("GET", "/v1/datasets", nil, "")
+func (c *Client) Datasets(ctx context.Context) ([]string, error) {
+	b, err := c.do(ctx, "GET", "/v1/datasets", nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -243,14 +264,14 @@ func (c *Client) Datasets() ([]string, error) {
 
 // Index fetches (and memoizes — the archive is immutable) one dataset's
 // index.
-func (c *Client) Index(dataset string) (*server.Index, error) {
+func (c *Client) Index(ctx context.Context, dataset string) (*server.Index, error) {
 	c.idxMu.Lock()
 	if idx, ok := c.indexes[dataset]; ok {
 		c.idxMu.Unlock()
 		return idx, nil
 	}
 	c.idxMu.Unlock()
-	b, err := c.do("GET", "/v1/d/"+dataset+"/index", nil, "")
+	b, err := c.do(ctx, "GET", "/v1/d/"+dataset+"/index", nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -284,17 +305,17 @@ func fragKey(dataset, vr string, fi int) string {
 
 // Fragment fetches a single fragment through the cache via the
 // single-fragment GET endpoint.
-func (c *Client) Fragment(dataset, vr string, fi int) ([]byte, error) {
+func (c *Client) Fragment(ctx context.Context, dataset, vr string, fi int) ([]byte, error) {
 	key := fragKey(dataset, vr, fi)
 	if v, ok := c.cache.get(key); ok {
 		c.cacheHits.Add(1)
 		return v, nil
 	}
-	b, err := c.do("GET", "/v1/d/"+dataset+"/frag/"+vr+"/"+strconv.Itoa(fi), nil, "")
+	b, err := c.do(ctx, "GET", "/v1/d/"+dataset+"/frag/"+vr+"/"+strconv.Itoa(fi), nil, "")
 	if err != nil {
 		return nil, err
 	}
-	if idx, ierr := c.Index(dataset); ierr == nil {
+	if idx, ierr := c.Index(ctx, dataset); ierr == nil {
 		if want := indexFragSize(idx, vr, fi); want >= 0 && int64(len(b)) != want {
 			return nil, fmt.Errorf("%w: fragment %s/%s/%d is %d bytes, index says %d",
 				encoding.ErrCorrupt, dataset, vr, fi, len(b), want)
@@ -310,8 +331,11 @@ func (c *Client) Fragment(dataset, vr string, fi int) ([]byte, error) {
 // cached fragments are returned directly, fragments already being fetched
 // by a concurrent session are awaited, and the rest travel in a single
 // batched POST. The result maps variable name → fragment index → payload.
-func (c *Client) Fragments(dataset string, wants map[string][]int) (map[string]map[int][]byte, error) {
-	idx, err := c.Index(dataset)
+func (c *Client) Fragments(ctx context.Context, dataset string, wants map[string][]int) (map[string]map[int][]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	idx, err := c.Index(ctx, dataset)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +391,7 @@ func (c *Client) Fragments(dataset string, wants map[string][]int) (map[string]m
 			req.Wants = append(req.Wants, server.BatchWant{Var: vr, Indices: byVar[vr]})
 		}
 		body, _ := json.Marshal(req)
-		blob, ferr := c.do("POST", "/v1/d/"+dataset+"/frags", body, "application/json")
+		blob, ferr := c.do(ctx, "POST", "/v1/d/"+dataset+"/frags", body, "application/json")
 		got := map[string][]byte{}
 		if ferr == nil {
 			var frags []server.BatchFragment
@@ -415,14 +439,50 @@ func (c *Client) Fragments(dataset string, wants map[string][]int) (map[string]m
 			put(p.vr, p.fi, p.cl.val)
 		}
 	}
+	var retry map[string][]int
 	for _, p := range waited {
-		<-p.cl.done
+		select {
+		case <-p.cl.done:
+		case <-ctx.Done():
+			// The owning session's fetch is still in flight; this caller
+			// stops waiting without disturbing it.
+			return nil, fmt.Errorf("client: coalesced fetch: %w", ctx.Err())
+		}
 		if p.cl.err != nil {
+			// The owner's context died mid-fetch. That cancellation belongs
+			// to the owner, not to this caller: re-fetch under our own live
+			// context rather than inheriting an error nobody here caused.
+			if isContextErr(p.cl.err) && ctx.Err() == nil {
+				if retry == nil {
+					retry = map[string][]int{}
+				}
+				retry[p.vr] = append(retry[p.vr], p.fi)
+				continue
+			}
 			return nil, fmt.Errorf("client: coalesced fetch: %w", p.cl.err)
 		}
 		put(p.vr, p.fi, p.cl.val)
 	}
+	if len(retry) > 0 {
+		// Either this call becomes the new owner, or it coalesces onto
+		// another live fetch; our own ctx now governs the wait.
+		got, err := c.Fragments(ctx, dataset, retry)
+		if err != nil {
+			return nil, err
+		}
+		for vr, m := range got {
+			for fi, v := range m {
+				put(vr, fi, v)
+			}
+		}
+	}
 	return out, nil
+}
+
+// isContextErr reports whether err stems from a cancelled or expired
+// context.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func sortedKeys(m map[string][]int) []string {

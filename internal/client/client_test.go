@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -85,7 +86,7 @@ func TestRetryOn5xxThenSuccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frag, err := c.Fragment("ge", vars[0].Name, 0)
+	frag, err := c.Fragment(context.Background(), "ge", vars[0].Name, 0)
 	if err != nil {
 		t.Fatalf("fragment after transient 5xx: %v", err)
 	}
@@ -113,7 +114,7 @@ func TestRetryExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Fragment("ge", vars[0].Name, 0); err == nil {
+	if _, err := c.Fragment(context.Background(), "ge", vars[0].Name, 0); err == nil {
 		t.Fatal("persistent 5xx did not fail")
 	} else if !strings.Contains(err.Error(), "giving up") {
 		t.Fatalf("error %v does not report retry exhaustion", err)
@@ -130,7 +131,7 @@ func TestNoRetryOn404(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := c.Stats().WireRequests
-	_, err = c.Fragment("ge", "NoSuchVar", 0)
+	_, err = c.Fragment(context.Background(), "ge", "NoSuchVar", 0)
 	var he *HTTPError
 	if !errors.As(err, &he) || he.Status != 404 {
 		t.Fatalf("want HTTPError 404, got %v", err)
@@ -159,7 +160,7 @@ func TestTruncatedBodyRetriesThenFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Fragment("ge", vars[0].Name, 0); err == nil {
+	if _, err := c.Fragment(context.Background(), "ge", vars[0].Name, 0); err == nil {
 		t.Fatal("truncated body did not fail")
 	}
 	if got := attempts.Load(); got != 4 {
@@ -185,7 +186,7 @@ func TestCorruptBatchDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Fragments("ge", map[string][]int{vars[0].Name: {0}})
+	_, err = c.Fragments(context.Background(), "ge", map[string][]int{vars[0].Name: {0}})
 	if !errors.Is(err, encoding.ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt for corrupted batch, got %v", err)
 	}
@@ -211,7 +212,7 @@ func TestShortFragmentAgainstIndexDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Fragments("ge", map[string][]int{vars[0].Name: {0}})
+	_, err = c.Fragments(context.Background(), "ge", map[string][]int{vars[0].Name: {0}})
 	if !errors.Is(err, encoding.ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt for short fragment, got %v", err)
 	}
@@ -230,7 +231,7 @@ func TestCacheEvictionUnderBytePressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := c.Fragment("ge", vars[0].Name, i); err != nil {
+		if _, err := c.Fragment(context.Background(), "ge", vars[0].Name, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -243,7 +244,7 @@ func TestCacheEvictionUnderBytePressure(t *testing.T) {
 	}
 	// Fragment 0 was evicted long ago: re-fetching it pays the wire again.
 	wire := c.Stats().WireBytes
-	if _, err := c.Fragment("ge", vars[0].Name, 0); err != nil {
+	if _, err := c.Fragment(context.Background(), "ge", vars[0].Name, 0); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats().WireBytes == wire {
@@ -275,7 +276,7 @@ func TestCoalescingConcurrentFetches(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.Fragments("ge", want)
+			results[i], errs[i] = c.Fragments(context.Background(), "ge", want)
 		}(i)
 	}
 	// Wait until one goroutine owns the in-flight fetch and the other has
@@ -310,13 +311,87 @@ func TestCoalescingConcurrentFetches(t *testing.T) {
 	}
 }
 
+// TestCoalescedWaiterSurvivesOwnerCancellation pins the isolation
+// guarantee: when the session owning an in-flight batch cancels its
+// context, a coalesced waiter with a live context re-fetches on its own
+// instead of inheriting the owner's cancellation.
+func TestCoalescedWaiterSurvivesOwnerCancellation(t *testing.T) {
+	gate := make(chan struct{})
+	var batchCalls atomic.Int64
+	hs, vars := testService(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/frags") {
+				if batchCalls.Add(1) == 1 {
+					<-gate // park only the owner's fetch
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	c, err := New(hs.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]int{vars[0].Name: {0, 1}}
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := c.Fragments(ownerCtx, "ge", want)
+		ownerErr <- err
+	}()
+	// Wait until the owner's batch is parked on the server, then coalesce.
+	deadline := time.After(5 * time.Second)
+	for batchCalls.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("owner batch never reached the server")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	waiterDone := make(chan struct{})
+	var waiterRes map[string]map[int][]byte
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterRes, waiterErr = c.Fragments(context.Background(), "ge", want)
+	}()
+	for c.Stats().Coalesced < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("waiter never coalesced: %+v", c.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancelOwner()
+	if err := <-ownerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner: want context.Canceled, got %v", err)
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never finished after owner cancellation")
+	}
+	close(gate)
+	if waiterErr != nil {
+		t.Fatalf("live waiter inherited the owner's cancellation: %v", waiterErr)
+	}
+	for fi, payload := range waiterRes[vars[0].Name] {
+		if string(payload) != string(vars[0].Ref.Fragments[fi]) {
+			t.Fatalf("waiter fragment %d mismatch after re-fetch", fi)
+		}
+	}
+	if got := batchCalls.Load(); got < 2 {
+		t.Fatalf("waiter did not issue its own fetch (%d batch calls)", got)
+	}
+}
+
 func TestConcurrentSessionsShareWire(t *testing.T) {
 	hs, _ := testService(t, nil)
 	c, err := New(hs.URL, fastOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rem, err := c.OpenDataset("ge")
+	rem, err := c.OpenDataset(context.Background(), "ge")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +409,7 @@ func TestConcurrentSessionsShareWire(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			res, err := rt.Retrieve(core.Request{QoIs: []qoi.QoI{vtot}, Tolerances: []float64{5e-3}})
+			res, err := rt.Retrieve(context.Background(), core.Request{QoIs: []qoi.QoI{vtot}, Tolerances: []float64{5e-3}})
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,9 +30,10 @@ func (s *RemoteStore) Put(key string, val []byte) error {
 	return fmt.Errorf("%w (key %q)", ErrReadOnly, key)
 }
 
-// Get implements storage.Store.
+// Get implements storage.Store. The storage.Store interface carries no
+// context, so reads run under context.Background().
 func (s *RemoteStore) Get(key string) ([]byte, error) {
-	b, err := s.c.do("GET", "/v1/store/blob/"+key, nil, "")
+	b, err := s.c.do(context.Background(), "GET", "/v1/store/blob/"+key, nil, "")
 	var he *HTTPError
 	if errors.As(err, &he) && he.Status == 404 {
 		return nil, fmt.Errorf("%w: %q", storage.ErrNotFound, key)
@@ -41,7 +43,7 @@ func (s *RemoteStore) Get(key string) ([]byte, error) {
 
 // Keys implements storage.Store.
 func (s *RemoteStore) Keys() ([]string, error) {
-	b, err := s.c.do("GET", "/v1/store/keys", nil, "")
+	b, err := s.c.do(context.Background(), "GET", "/v1/store/keys", nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -67,24 +69,25 @@ type Remote struct {
 }
 
 // Open dials baseURL and opens the named dataset with fresh client
-// options. Share one Client across datasets via New + OpenDataset when the
-// cache should span them.
-func Open(baseURL, dataset string, opt Options) (*Remote, error) {
+// options; ctx scopes the metadata round trips. Share one Client across
+// datasets via New + OpenDataset when the cache should span them.
+func Open(ctx context.Context, baseURL, dataset string, opt Options) (*Remote, error) {
 	c, err := New(baseURL, opt)
 	if err != nil {
 		return nil, err
 	}
-	return c.OpenDataset(dataset)
+	return c.OpenDataset(ctx, dataset)
 }
 
 // OpenDataset fetches the dataset's index and metadata blob and returns a
-// session factory for it.
-func (c *Client) OpenDataset(dataset string) (*Remote, error) {
-	idx, err := c.Index(dataset)
+// session factory for it. ctx scopes the two metadata fetches only;
+// sessions opened later carry their own per-request contexts.
+func (c *Client) OpenDataset(ctx context.Context, dataset string) (*Remote, error) {
+	idx, err := c.Index(ctx, dataset)
 	if err != nil {
 		return nil, err
 	}
-	blob, err := c.do("GET", "/v1/d/"+dataset+"/meta", nil, "")
+	blob, err := c.do(ctx, "GET", "/v1/d/"+dataset+"/meta", nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +155,7 @@ func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core
 		cv.Ref = &ref
 		vars[i] = &cv
 	}
-	cfg.Prefetch = func(need [][]int) error {
+	cfg.Prefetch = func(ctx context.Context, need [][]int) error {
 		wants := map[string][]int{}
 		for vi, idxs := range need {
 			for _, fi := range idxs {
@@ -167,7 +170,7 @@ func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core
 		if len(wants) == 0 {
 			return nil
 		}
-		got, err := r.c.Fragments(r.dataset, wants)
+		got, err := r.c.Fragments(ctx, r.dataset, wants)
 		if err != nil {
 			return err
 		}
@@ -178,5 +181,6 @@ func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core
 		}
 		return nil
 	}
+	cfg.WireBytes = func() int64 { return r.c.wireBytes.Load() }
 	return core.NewRetriever(vars, cfg, fetch)
 }

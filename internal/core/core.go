@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -109,6 +110,13 @@ type Region struct{ Lo, Hi int }
 
 func (r Region) whole() bool { return r.Lo == 0 && r.Hi == 0 }
 
+// ErrBadRequest reports an invalid retrieval request (length mismatches,
+// non-positive tolerances, malformed regions, unknown variables). Every
+// argument-validation failure of Retrieve wraps it, so callers can
+// distinguish caller bugs from transport or representation failures with
+// errors.Is(err, ErrBadRequest).
+var ErrBadRequest = errors.New("core: bad request")
+
 // Request asks for a set of QoIs within absolute error tolerances.
 type Request struct {
 	QoIs       []qoi.QoI
@@ -122,6 +130,29 @@ type Request struct {
 	// The same QoI may appear twice with different regions and tolerances
 	// to express spatially varying fidelity. Empty = whole domain for all.
 	Regions []Region
+	// OnProgress, when set, fires after every certify-loop iteration with
+	// the current per-QoI estimated errors and cumulative byte counts. It
+	// runs on the retrieving goroutine: a caller that wants to abort cancels
+	// the Retrieve context from inside the callback and receives the
+	// best-effort Result together with ctx.Err().
+	OnProgress func(Iteration)
+}
+
+// Iteration is one certify-loop progress report, streamed to
+// Request.OnProgress after each iteration of Algorithm 2.
+type Iteration struct {
+	// N is the 1-based iteration number within this Retrieve call.
+	N int
+	// EstErrors is the current max estimated error per requested QoI.
+	EstErrors []float64
+	// RetrievedBytes is the session's cumulative logical fragment bytes.
+	RetrievedBytes int64
+	// WireBytes is the cumulative bytes the transport actually moved (via
+	// Config.WireBytes); zero for local archives.
+	WireBytes int64
+	// ToleranceMet reports whether every QoI certified this iteration
+	// (i.e. this is the final report of a successful Retrieve).
+	ToleranceMet bool
 }
 
 // Config tunes the retrieval loop.
@@ -147,8 +178,13 @@ type Config struct {
 	// ingest this iteration (nil when v needs nothing). A remote retrieval
 	// client uses the hook to pull every needed fragment across all
 	// variables in a single batched round trip; fragments already present
-	// locally may be ignored by the hook.
-	Prefetch func(need [][]int) error
+	// locally may be ignored by the hook. ctx is the Retrieve context: the
+	// hook must abandon in-flight work when it is cancelled.
+	Prefetch func(ctx context.Context, need [][]int) error
+	// WireBytes, when set, reports the cumulative bytes the transport
+	// actually moved (a remote client's wire counter). It feeds
+	// Iteration.WireBytes; nil means no transport (local archive).
+	WireBytes func() int64
 }
 
 func (c Config) withDefaults() Config {
@@ -243,29 +279,40 @@ func (rt *Retriever) RetrievedBytes() int64 {
 
 // Retrieve runs Algorithm 2 for the request. Subsequent calls reuse all
 // previously retrieved fragments.
-func (rt *Retriever) Retrieve(req Request) (*Result, error) {
+//
+// ctx scopes the whole retrieval: cancellation or deadline expiry is
+// observed between loop iterations, between fragment ingests, and by the
+// Prefetch transport hook on in-flight requests. On cancellation Retrieve
+// returns the best-effort Result accumulated so far together with an error
+// wrapping ctx.Err(); the Retriever stays valid and a follow-up Retrieve
+// resumes without re-fetching anything already held. A nil ctx means
+// context.Background().
+func (rt *Retriever) Retrieve(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(req.QoIs) == 0 {
-		return nil, fmt.Errorf("core: request has no QoIs")
+		return nil, fmt.Errorf("%w: request has no QoIs", ErrBadRequest)
 	}
 	if len(req.Tolerances) != len(req.QoIs) {
-		return nil, fmt.Errorf("core: %d tolerances for %d QoIs", len(req.Tolerances), len(req.QoIs))
+		return nil, fmt.Errorf("%w: %d tolerances for %d QoIs", ErrBadRequest, len(req.Tolerances), len(req.QoIs))
 	}
 	for k, tol := range req.Tolerances {
 		if !(tol > 0) {
-			return nil, fmt.Errorf("core: tolerance %d must be positive, got %g", k, tol)
+			return nil, fmt.Errorf("%w: tolerance %d must be positive, got %g", ErrBadRequest, k, tol)
 		}
 	}
 	neAll := rt.vars[0].Ref.NumElements()
 	if len(req.Regions) != 0 {
 		if len(req.Regions) != len(req.QoIs) {
-			return nil, fmt.Errorf("core: %d regions for %d QoIs", len(req.Regions), len(req.QoIs))
+			return nil, fmt.Errorf("%w: %d regions for %d QoIs", ErrBadRequest, len(req.Regions), len(req.QoIs))
 		}
 		for k, r := range req.Regions {
 			if r.whole() {
 				continue
 			}
 			if r.Lo < 0 || r.Hi > neAll || r.Lo >= r.Hi {
-				return nil, fmt.Errorf("core: region %d [%d,%d) invalid for %d elements", k, r.Lo, r.Hi, neAll)
+				return nil, fmt.Errorf("%w: region %d [%d,%d) invalid for %d elements", ErrBadRequest, k, r.Lo, r.Hi, neAll)
 			}
 		}
 	}
@@ -275,7 +322,7 @@ func (rt *Retriever) Retrieve(req Request) (*Result, error) {
 		vs := qoi.Vars(q.Expr)
 		for _, v := range vs {
 			if v >= len(rt.vars) {
-				return nil, fmt.Errorf("core: QoI %s uses variable %d; only %d variables", q.Name, v, len(rt.vars))
+				return nil, fmt.Errorf("%w: QoI %s uses variable %d; only %d variables", ErrBadRequest, q.Name, v, len(rt.vars))
 			}
 			involved[v] = true
 		}
@@ -291,14 +338,39 @@ func (rt *Retriever) Retrieve(req Request) (*Result, error) {
 	}
 	ne := rt.vars[0].Ref.NumElements()
 	if len(rt.vars) > 0 && len(involved) == 0 {
-		return nil, fmt.Errorf("core: no variables involved in request")
+		return nil, fmt.Errorf("%w: no variables involved in request", ErrBadRequest)
+	}
+	// finish snapshots the session state into res so every exit — certified,
+	// exhausted, or cancelled — hands back a coherent best-effort Result.
+	finish := func() {
+		res.RetrievedBytes = rt.RetrievedBytes()
+		res.Data = res.Data[:0]
+		for i := range rt.vars {
+			res.Data = append(res.Data, rt.masked[i])
+		}
+	}
+	wire := func() int64 {
+		if rt.cfg.WireBytes == nil {
+			return 0
+		}
+		return rt.cfg.WireBytes()
 	}
 
 	for iter := 0; iter < rt.cfg.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			finish()
+			return res, fmt.Errorf("core: retrieve: %w", err)
+		}
 		res.Iterations = iter + 1
 		// Progressive retrieval to the currently assigned bounds.
-		progressed, err := rt.advance(involved)
+		progressed, err := rt.advance(ctx, involved)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The session state is untouched by the aborted step; hand
+				// back what earlier iterations certified.
+				finish()
+				return res, err
+			}
 			return nil, err
 		}
 
@@ -314,6 +386,15 @@ func (rt *Retriever) Retrieve(req Request) (*Result, error) {
 			if !(maxEst[k] <= req.Tolerances[k]) {
 				met = false
 			}
+		}
+		if req.OnProgress != nil {
+			req.OnProgress(Iteration{
+				N:              res.Iterations,
+				EstErrors:      append([]float64(nil), maxEst...),
+				RetrievedBytes: rt.RetrievedBytes(),
+				WireBytes:      wire(),
+				ToleranceMet:   met,
+			})
 		}
 		if met {
 			res.ToleranceMet = true
@@ -339,11 +420,11 @@ func (rt *Retriever) Retrieve(req Request) (*Result, error) {
 			break
 		}
 	}
-	res.RetrievedBytes = rt.RetrievedBytes()
-	for i := range rt.vars {
-		res.Data = append(res.Data, rt.masked[i])
-	}
+	finish()
 	if !res.ToleranceMet {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("core: retrieve: %w", err)
+		}
 		return res, ErrExhausted
 	}
 	return res, nil
@@ -384,7 +465,7 @@ func (rt *Retriever) assignInitial(req Request, qoiVars [][]int) {
 
 // advance asks every involved reader for its assigned bound and refreshes
 // the masked data views. It reports whether any reader fetched new bytes.
-func (rt *Retriever) advance(involved map[int]bool) (bool, error) {
+func (rt *Retriever) advance(ctx context.Context, involved map[int]bool) (bool, error) {
 	if rt.cfg.Prefetch != nil {
 		need := make([][]int, len(rt.vars))
 		any := false
@@ -398,7 +479,7 @@ func (rt *Retriever) advance(involved map[int]bool) (bool, error) {
 			}
 		}
 		if any {
-			if err := rt.cfg.Prefetch(need); err != nil {
+			if err := rt.cfg.Prefetch(ctx, need); err != nil {
 				return false, fmt.Errorf("core: prefetch: %w", err)
 			}
 		}
@@ -409,7 +490,7 @@ func (rt *Retriever) advance(involved map[int]bool) (bool, error) {
 			continue
 		}
 		before := rt.readers[v].RetrievedBytes()
-		b, err := rt.readers[v].Advance(rt.eps[v])
+		b, err := rt.readers[v].Advance(ctx, rt.eps[v])
 		if err != nil {
 			return false, fmt.Errorf("core: advance %s: %w", rt.vars[v].Name, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -40,7 +41,7 @@ func TestRetrieveMeetsQoITolerancesAllMethods(t *testing.T) {
 			rels[k] = 1e-4
 			tols[k] = rels[k] * ranges[k]
 		}
-		res, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+		res, err := rt.Retrieve(context.Background(), Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -73,7 +74,7 @@ func TestIncrementalSessionReusesBytes(t *testing.T) {
 	}
 	vtot := []qoi.QoI{ds.QoIs[0]}
 	run := func(rel float64) int64 {
-		res, err := rt.Retrieve(Request{
+		res, err := rt.Retrieve(context.Background(), Request{
 			QoIs:       vtot,
 			Tolerances: []float64{rel * ranges[0]},
 			InitRel:    []float64{rel},
@@ -95,7 +96,7 @@ func TestIncrementalSessionReusesBytes(t *testing.T) {
 	// A fresh session going straight to 1e-6 should cost no more than the
 	// incremental path's total (no redundancy for PMGARD-HB).
 	rt2, _ := NewRetriever(refactorDataset(t, ds, progressive.PMGARDHB), Config{}, nil)
-	res, err := rt2.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1e-6 * ranges[0]}, InitRel: []float64{1e-6}})
+	res, err := rt2.Retrieve(context.Background(), Request{QoIs: vtot, Tolerances: []float64{1e-6 * ranges[0]}, InitRel: []float64{1e-6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestMaskKeepsSqrtEstimatesFinite(t *testing.T) {
 
 	// With the mask, a moderate tolerance must be reachable quickly.
 	rt, _ := NewRetriever(vars, Config{}, nil)
-	res, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1e-3 * ranges[0]}, InitRel: []float64{1e-3}})
+	res, err := rt.Retrieve(context.Background(), Request{QoIs: vtot, Tolerances: []float64{1e-3 * ranges[0]}, InitRel: []float64{1e-3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestMaskKeepsSqrtEstimatesFinite(t *testing.T) {
 	// (sqrt estimate at near-zero radicand), or exhaustion.
 	vars2 := refactorDataset(t, ds, progressive.PMGARDHB)
 	rt2, _ := NewRetriever(vars2, Config{DisableMask: true}, nil)
-	res2, err := rt2.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1e-3 * ranges[0]}, InitRel: []float64{1e-3}})
+	res2, err := rt2.Retrieve(context.Background(), Request{QoIs: vtot, Tolerances: []float64{1e-3 * ranges[0]}, InitRel: []float64{1e-3}})
 	if err != nil && !errors.Is(err, ErrExhausted) {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestMultiQoIRequestSatisfiesAll(t *testing.T) {
 	for k := range rels {
 		tols[k] = rels[k] * ranges[k]
 	}
-	res, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+	res, err := rt.Retrieve(context.Background(), Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,17 +159,17 @@ func TestRetrieveValidatesRequest(t *testing.T) {
 	ds := smallGE()
 	vars := refactorDataset(t, ds, progressive.PMGARDHB)
 	rt, _ := NewRetriever(vars, Config{}, nil)
-	if _, err := rt.Retrieve(Request{}); err == nil {
+	if _, err := rt.Retrieve(context.Background(), Request{}); err == nil {
 		t.Error("empty request accepted")
 	}
-	if _, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: []float64{1}}); err == nil {
+	if _, err := rt.Retrieve(context.Background(), Request{QoIs: ds.QoIs, Tolerances: []float64{1}}); err == nil {
 		t.Error("tolerance count mismatch accepted")
 	}
-	if _, err := rt.Retrieve(Request{QoIs: ds.QoIs[:1], Tolerances: []float64{0}}); err == nil {
+	if _, err := rt.Retrieve(context.Background(), Request{QoIs: ds.QoIs[:1], Tolerances: []float64{0}}); err == nil {
 		t.Error("zero tolerance accepted")
 	}
 	badQoI := []qoi.QoI{{Name: "bad", Expr: qoi.Var{Index: 99}}}
-	if _, err := rt.Retrieve(Request{QoIs: badQoI, Tolerances: []float64{1}}); err == nil {
+	if _, err := rt.Retrieve(context.Background(), Request{QoIs: badQoI, Tolerances: []float64{1}}); err == nil {
 		t.Error("out-of-range variable accepted")
 	}
 }
@@ -201,7 +202,7 @@ func TestS3DMultiplicationQoIs(t *testing.T) {
 	for k := range tols {
 		tols[k] = rels[k] * ranges[k]
 	}
-	res, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+	res, err := rt.Retrieve(context.Background(), Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestTotalVelocityOn3D(t *testing.T) {
 	ranges := QoIRanges(ds.QoIs, ds.Fields)
 	vars := refactorDataset(t, ds, progressive.PMGARDHB)
 	rt, _ := NewRetriever(vars, Config{}, nil)
-	res, err := rt.Retrieve(Request{
+	res, err := rt.Retrieve(context.Background(), Request{
 		QoIs:       ds.QoIs,
 		Tolerances: []float64{1e-5 * ranges[0]},
 		InitRel:    []float64{1e-5},
@@ -239,7 +240,7 @@ func TestTightenFactorAblation(t *testing.T) {
 	for _, c := range []float64{1.1, 1.5, 4} {
 		vars := refactorDataset(t, ds, progressive.PMGARDHB)
 		rt, _ := NewRetriever(vars, Config{TightenFactor: c}, nil)
-		res, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1e-4 * ranges[0]}, InitRel: []float64{1e-4}})
+		res, err := rt.Retrieve(context.Background(), Request{QoIs: vtot, Tolerances: []float64{1e-4 * ranges[0]}, InitRel: []float64{1e-4}})
 		if err != nil {
 			t.Fatalf("c=%g: %v", c, err)
 		}
@@ -259,7 +260,7 @@ func TestRegionOfInterestRetrieval(t *testing.T) {
 	// Same QoI requested twice: tight in the hot region, loose elsewhere.
 	vars := refactorDataset(t, ds, progressive.PMGARDHB)
 	rt, _ := NewRetriever(vars, Config{}, nil)
-	res, err := rt.Retrieve(Request{
+	res, err := rt.Retrieve(context.Background(), Request{
 		QoIs:       []qoi.QoI{vtot, vtot},
 		Tolerances: []float64{1e-6 * ranges[0], 1e-2 * ranges[0]},
 		InitRel:    []float64{1e-6, 1e-2},
@@ -286,7 +287,7 @@ func TestRegionOfInterestRetrieval(t *testing.T) {
 	// A uniformly tight request must cost at least as much as the RoI one.
 	vars2 := refactorDataset(t, ds, progressive.PMGARDHB)
 	rt2, _ := NewRetriever(vars2, Config{}, nil)
-	res2, err := rt2.Retrieve(Request{
+	res2, err := rt2.Retrieve(context.Background(), Request{
 		QoIs:       []qoi.QoI{vtot},
 		Tolerances: []float64{1e-6 * ranges[0]},
 		InitRel:    []float64{1e-6},
@@ -305,18 +306,18 @@ func TestRegionValidation(t *testing.T) {
 	rt, _ := NewRetriever(vars, Config{}, nil)
 	vtot := []qoi.QoI{ds.QoIs[0]}
 	bad := []Region{{Lo: -1, Hi: 5}}
-	if _, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
+	if _, err := rt.Retrieve(context.Background(), Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
 		t.Error("negative region accepted")
 	}
 	bad = []Region{{Lo: 10, Hi: 5}}
-	if _, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
+	if _, err := rt.Retrieve(context.Background(), Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
 		t.Error("inverted region accepted")
 	}
 	bad = []Region{{Lo: 0, Hi: ds.NumElements() + 1}}
-	if _, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
+	if _, err := rt.Retrieve(context.Background(), Request{QoIs: vtot, Tolerances: []float64{1}, Regions: bad}); err == nil {
 		t.Error("oversized region accepted")
 	}
-	if _, err := rt.Retrieve(Request{QoIs: vtot, Tolerances: []float64{1}, Regions: []Region{{}, {}}}); err == nil {
+	if _, err := rt.Retrieve(context.Background(), Request{QoIs: vtot, Tolerances: []float64{1}, Regions: []Region{{}, {}}}); err == nil {
 		t.Error("region count mismatch accepted")
 	}
 }
@@ -336,7 +337,7 @@ func TestIntervalEstimatorAlsoCertifies(t *testing.T) {
 	for k := range rels {
 		tols[k] = rels[k] * ranges[k]
 	}
-	res, err := rt.Retrieve(Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
+	res, err := rt.Retrieve(context.Background(), Request{QoIs: ds.QoIs, Tolerances: tols, InitRel: rels})
 	if err != nil {
 		t.Fatal(err)
 	}

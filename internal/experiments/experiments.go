@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -133,7 +134,7 @@ func Fig2(o Opts) string {
 				return "fig2: " + err.Error()
 			}
 			for ti, rel := range targets {
-				if _, err := rd.Advance(rel * rng); err != nil {
+				if _, err := rd.Advance(context.Background(), rel*rng); err != nil {
 					return "fig2: " + err.Error()
 				}
 				rows[ti][mi] = stats.Bitrate(rd.RetrievedBytes(), len(data))
@@ -172,7 +173,7 @@ func Fig3(o Opts) string {
 				return "fig3: " + err.Error()
 			}
 			for _, rel := range targets {
-				bound, err := rd.Advance(rel * rng)
+				bound, err := rd.Advance(context.Background(), rel*rng)
 				if err != nil {
 					return "fig3: " + err.Error()
 				}
@@ -218,7 +219,7 @@ func qoiSweep(ds *datagen.Dataset, o Opts, nTargets int) (string, error) {
 		}
 		t := &stats.Table{Header: []string{"req_rel_tol", "bitrate", "max_est_rel", "max_actual_rel"}}
 		for _, rel := range targets {
-			res, err := rt.Retrieve(core.Request{
+			res, err := rt.Retrieve(context.Background(), core.Request{
 				QoIs:       []qoi.QoI{q},
 				Tolerances: []float64{rel * ranges[k]},
 				InitRel:    []float64{rel},
@@ -309,7 +310,7 @@ func retrievalEfficiency(ds *datagen.Dataset, o Opts, nTargets int) (string, err
 				if err != nil {
 					return "", err
 				}
-				res, err := rt.Retrieve(core.Request{
+				res, err := rt.Retrieve(context.Background(), core.Request{
 					QoIs:       []qoi.QoI{q},
 					Tolerances: []float64{rel * ranges[k]},
 					InitRel:    []float64{rel},
@@ -369,7 +370,7 @@ func Table4(o Opts) string {
 				return "table4: " + err.Error()
 			}
 			start := time.Now()
-			if _, err := rt.Retrieve(core.Request{
+			if _, err := rt.Retrieve(context.Background(), core.Request{
 				QoIs:       vtot,
 				Tolerances: []float64{rel * ranges[0]},
 				InitRel:    []float64{rel},
@@ -434,7 +435,7 @@ func Fig9(o Opts) string {
 			if ranges[0] == 0 {
 				ranges[0] = 1
 			}
-			_, err = rt.Retrieve(core.Request{
+			_, err = rt.Retrieve(context.Background(), core.Request{
 				QoIs:       []qoi.QoI{vtot},
 				Tolerances: []float64{rel * ranges[0]},
 				InitRel:    []float64{rel},

@@ -1,6 +1,7 @@
 package progressive
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -47,7 +48,7 @@ func TestRefactorAndFullRetrieveAllMethods(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
-		bound, err := rd.Advance(0)
+		bound, err := rd.Advance(context.Background(), 0)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -81,7 +82,7 @@ func TestProgressiveBoundsAlwaysHold(t *testing.T) {
 		}
 		prevBytes := int64(0)
 		for _, tgt := range targets {
-			bound, err := rd.Advance(tgt)
+			bound, err := rd.Advance(context.Background(), tgt)
 			if err != nil {
 				t.Fatalf("%v target %g: %v", m, tgt, err)
 			}
@@ -132,7 +133,7 @@ func TestDeltaCheaperThanPSZ3OnProgressiveSession(t *testing.T) {
 		}
 		rd, _ := NewReader(ref, nil)
 		for i := 1; i <= 8; i++ {
-			if _, err := rd.Advance(300 * math.Pow(10, -float64(i))); err != nil {
+			if _, err := rd.Advance(context.Background(), 300 * math.Pow(10, -float64(i))); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -156,7 +157,7 @@ func TestHBTighterThanOB(t *testing.T) {
 			t.Fatal(err)
 		}
 		rd, _ := NewReader(ref, nil)
-		if _, err := rd.Advance(1e-4); err != nil {
+		if _, err := rd.Advance(context.Background(), 1e-4); err != nil {
 			t.Fatal(err)
 		}
 		return rd.RetrievedBytes()
@@ -184,7 +185,7 @@ func TestFetchCallbackAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rd.Advance(1e-3); err != nil {
+	if _, err := rd.Advance(context.Background(), 1e-3); err != nil {
 		t.Fatal(err)
 	}
 	if cbBytes != rd.RetrievedBytes() {
@@ -200,17 +201,17 @@ func TestAdvanceIdempotentAndMonotone(t *testing.T) {
 	data := smoothField(dims)
 	ref, _ := Refactor(data, dims, Options{Method: PMGARDHB})
 	rd, _ := NewReader(ref, nil)
-	b1, err := rd.Advance(1e-3)
+	b1, err := rd.Advance(context.Background(), 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bytes1 := rd.RetrievedBytes()
 	// Re-requesting the same or a looser bound must be free.
-	b2, err := rd.Advance(1e-3)
+	b2, err := rd.Advance(context.Background(), 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b3, err := rd.Advance(1.0)
+	b3, err := rd.Advance(context.Background(), 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,10 +224,10 @@ func TestAdvanceRejectsBadTarget(t *testing.T) {
 	dims := []int{16}
 	ref, _ := Refactor(smoothField(dims), dims, Options{Method: PMGARDHB})
 	rd, _ := NewReader(ref, nil)
-	if _, err := rd.Advance(-1); err == nil {
+	if _, err := rd.Advance(context.Background(), -1); err == nil {
 		t.Fatal("negative target accepted")
 	}
-	if _, err := rd.Advance(math.NaN()); err == nil {
+	if _, err := rd.Advance(context.Background(), math.NaN()); err == nil {
 		t.Fatal("NaN target accepted")
 	}
 }
@@ -258,7 +259,7 @@ func TestZeroFieldAllMethods(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bound, err := rd.Advance(1e-12)
+		bound, err := rd.Advance(context.Background(), 1e-12)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -293,11 +294,11 @@ func TestMarshalRoundTripAllMethods(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
-		b1, err := rd1.Advance(1e-5)
+		b1, err := rd1.Advance(context.Background(), 1e-5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b2, err := rd2.Advance(1e-5)
+		b2, err := rd2.Advance(context.Background(), 1e-5)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -336,7 +337,7 @@ func TestLevelMajorOrderStillSound(t *testing.T) {
 		t.Fatal(err)
 	}
 	rd, _ := NewReader(ref, nil)
-	bound, err := rd.Advance(1e-5)
+	bound, err := rd.Advance(context.Background(), 1e-5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestGreedyBeatsLevelMajorAtLooseTargets(t *testing.T) {
 			t.Fatal(err)
 		}
 		rd, _ := NewReader(ref, nil)
-		if _, err := rd.Advance(1.0); err != nil {
+		if _, err := rd.Advance(context.Background(), 1.0); err != nil {
 			t.Fatal(err)
 		}
 		return rd.RetrievedBytes()
@@ -385,7 +386,7 @@ func TestPropertyAllMethodsBoundSound(t *testing.T) {
 			return false
 		}
 		target := math.Pow(10, -float64(tExp%10))
-		bound, err := rd.Advance(target)
+		bound, err := rd.Advance(context.Background(), target)
 		if err != nil {
 			return false
 		}
@@ -434,7 +435,7 @@ func TestPSZ3SkipsLooseSnapshots(t *testing.T) {
 			rng = v
 		}
 	}
-	if _, err := rd.Advance(ref.SnapshotEBs[5]); err != nil {
+	if _, err := rd.Advance(context.Background(), ref.SnapshotEBs[5]); err != nil {
 		t.Fatal(err)
 	}
 	if len(fetched) != 1 || fetched[0] != 5 {
@@ -450,7 +451,7 @@ func TestDeltaFetchesPrefix(t *testing.T) {
 	}
 	var fetched []int
 	rd, _ := NewReader(ref, func(i int, size int64) { fetched = append(fetched, i) })
-	if _, err := rd.Advance(ref.SnapshotEBs[3]); err != nil {
+	if _, err := rd.Advance(context.Background(), ref.SnapshotEBs[3]); err != nil {
 		t.Fatal(err)
 	}
 	want := []int{0, 1, 2, 3}
@@ -472,7 +473,7 @@ func TestDataAtResolution(t *testing.T) {
 		t.Fatal(err)
 	}
 	rd, _ := NewReader(ref, nil)
-	if _, err := rd.Advance(1e-6); err != nil {
+	if _, err := rd.Advance(context.Background(), 1e-6); err != nil {
 		t.Fatal(err)
 	}
 	coarse, cdims, err := rd.DataAtResolution(1)

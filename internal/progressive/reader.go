@@ -1,6 +1,7 @@
 package progressive
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -134,11 +135,22 @@ func (rd *Reader) Plan(target float64) []int {
 // achieved bound. The fragments ingested are exactly those Plan(target)
 // reports — Advance consumes the plan, so the selection logic cannot
 // diverge between the local and remote (prefetching) paths.
-func (rd *Reader) Advance(target float64) (float64, error) {
+//
+// ctx is checked between fragment ingests: on cancellation Advance stops
+// early with ctx's error and the bound achieved so far. Fragments already
+// ingested stay ingested, so the reader remains valid and a later Advance
+// resumes from exactly where this one stopped. A nil ctx means
+// context.Background().
+func (rd *Reader) Advance(ctx context.Context, target float64) (float64, error) {
 	if target < 0 || math.IsNaN(target) {
 		return rd.bound, fmt.Errorf("%w: target %g", ErrBadRequest, target)
 	}
 	for _, i := range rd.Plan(target) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return rd.bound, err
+			}
+		}
 		var err error
 		switch rd.src.Method {
 		case PSZ3, PSZ3Delta:

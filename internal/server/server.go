@@ -17,7 +17,10 @@
 // carry strong ETags with far-future cache headers and honor
 // If-None-Match. All responses gzip when the client accepts it. A
 // semaphore bounds in-flight requests; the high-water mark is visible in
-// /healthz.
+// /healthz. Handlers respect the request context: a request cancelled
+// while queued on the semaphore returns 503 without consuming a slot, and
+// a batch abandoned mid-assembly stops with 499 instead of encoding bytes
+// nobody will read.
 package server
 
 import (
@@ -263,6 +266,10 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 // maxBatchBody bounds the batched request JSON.
 const maxBatchBody = 1 << 20
 
+// statusClientClosedRequest is nginx's convention for "the client cancelled
+// while we were serving"; no stdlib constant exists for it.
+const statusClientClosedRequest = 499
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ds := s.dataset(w, r)
 	if ds == nil {
@@ -288,6 +295,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	sent := map[fragID]bool{}
 	for _, want := range req.Wants {
+		// A cancelled request means the client is gone: stop assembling the
+		// batch instead of burning counters on bytes nobody will read.
+		if err := r.Context().Err(); err != nil {
+			http.Error(w, "request canceled", statusClientClosedRequest)
+			return
+		}
 		vi, ok := ds.varIdx[want.Var]
 		if !ok {
 			http.Error(w, "unknown variable "+want.Var, http.StatusNotFound)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -114,7 +115,7 @@ func TestArchiveRoundTripMem(t *testing.T) {
 	}
 	vtot := []qoi.QoI{ds.QoIs[0]}
 	ranges := core.QoIRanges(vtot, ds.Fields)
-	res, err := rt.Retrieve(core.Request{
+	res, err := rt.Retrieve(context.Background(), core.Request{
 		QoIs:       vtot,
 		Tolerances: []float64{1e-4 * ranges[0]},
 		InitRel:    []float64{1e-4},

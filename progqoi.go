@@ -10,15 +10,23 @@
 //	    []string{"Vx", "Vy", "Vz"}, fields, []int{512, 512},
 //	    progqoi.WithMethod(progqoi.PMGARDHB))
 //
-// A consumer then opens a retrieval session and asks for QoIs under
-// absolute error tolerances; the session fetches only the fragments needed
-// to *certify* those tolerances from the reconstruction alone — no ground
-// truth required — and reuses every byte across successive requests:
+// A consumer then opens a retrieval session and asks for QoIs under error
+// tolerances; the session fetches only the fragments needed to *certify*
+// those tolerances from the reconstruction alone — no ground truth
+// required — and reuses every byte across successive requests. A request
+// is a set of [Target]s, each pairing one QoI with its own tolerance
+// (absolute or relative) and optional region of interest:
 //
-//	sess, err := archive.Open(nil)
+//	sess, err := archive.Open()
 //	vtot, err := progqoi.ParseQoI("VTOT", "sqrt(Vx^2+Vy^2+Vz^2)", archive.FieldNames())
-//	res, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{1e-4})
+//	res, err := sess.Do(ctx, progqoi.Request{Targets: []progqoi.Target{
+//	    {QoI: vtot, Tolerance: 1e-4},
+//	}})
 //	// res.Data, res.EstErrors, res.RetrievedBytes
+//
+// The context cancels or deadlines the retrieval end to end, including
+// in-flight HTTP fetches of a remote session; Request.OnProgress streams
+// one report per certify-loop iteration. See [Session.Do] for both.
 //
 // QoIs are derivable when composable from the paper's basis: polynomials,
 // square root, the radical 1/(x+c), addition, multiplication, division and
@@ -32,9 +40,11 @@
 // archive directory with the progqoid daemon (cmd/progqoid) and open it
 // over the wire:
 //
-//	archive, err := progqoi.OpenRemote("http://storage-site:9123", "ge")
-//	sess, err := archive.Open(nil)
-//	res, err := sess.Retrieve([]progqoi.QoI{vtot}, []float64{1e-4})
+//	archive, err := progqoi.OpenRemote(ctx, "http://storage-site:9123", "ge")
+//	sess, err := archive.Open()
+//	res, err := sess.Do(ctx, progqoi.Request{Targets: []progqoi.Target{
+//	    {QoI: vtot, Tolerance: 1e-4},
+//	}})
 //
 // A remote session certifies the same error bounds and reconstructs the
 // same bytes as a local one; fragment fetches are batched into one HTTP
@@ -42,9 +52,18 @@
 // by all sessions of the archive, and coalesced across concurrent
 // sessions. Archive.RemoteStats reports actual wire bytes next to each
 // session's logical RetrievedBytes.
+//
+// # Concurrency
+//
+// A Session is a stateful incremental cursor: use each Session from one
+// goroutine at a time. Everything above a Session is concurrency-safe —
+// any number of goroutines may Open sessions of the same Archive (local or
+// remote) and drive them in parallel; remote sessions share the archive's
+// fragment cache and coalesce duplicate in-flight fetches.
 package progqoi
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -80,9 +99,21 @@ type Expr = qoi.Expr
 // estimates, and cumulative retrieved bytes.
 type Result = core.Result
 
+// Iteration is one certify-loop progress report streamed to
+// Request.OnProgress: iteration number, per-QoI estimated errors, and
+// cumulative retrieved/wire bytes.
+type Iteration = core.Iteration
+
 // ErrExhausted is returned (with a best-effort Result) when full fidelity
 // is reached before the requested tolerances can be certified.
 var ErrExhausted = core.ErrExhausted
+
+// ErrBadRequest is the sentinel wrapped by every argument-validation
+// failure of Session.Do and the legacy Retrieve wrappers: length
+// mismatches, non-positive tolerances, relative targets without a range,
+// malformed regions, QoIs referencing unknown variables. Test with
+// errors.Is(err, ErrBadRequest).
+var ErrBadRequest = core.ErrBadRequest
 
 // ParseQoI compiles a formula over the named fields into a QoI, e.g.
 // ParseQoI("T", "P/(287.1*D)", []string{"Vx","Vy","Vz","P","D"}).
@@ -144,17 +175,33 @@ type Archive struct {
 	remote *client.Remote
 }
 
-// RemoteConfig tunes OpenRemote; the zero value uses the defaults of the
-// remote client (30 s HTTP timeout, 3 retries with exponential backoff,
-// 64 MiB fragment cache).
-type RemoteConfig struct {
-	// CacheBytes bounds the fragment LRU cache shared by all sessions of
-	// this archive (negative disables caching).
-	CacheBytes int64
-	// MaxRetries re-attempts failed requests (negative disables retries).
-	MaxRetries int
-	// HTTPClient overrides the transport.
-	HTTPClient *http.Client
+// RemoteOption configures OpenRemote, in the same functional-options idiom
+// Refactor and Archive.Open use. With no options the remote client's
+// defaults apply: 30 s response-header timeout, 3 retries with exponential
+// backoff, 64 MiB fragment cache.
+type RemoteOption func(*remoteOptions)
+
+type remoteOptions struct {
+	cacheBytes int64
+	maxRetries int
+	httpClient *http.Client
+}
+
+// WithCache bounds the fragment LRU cache shared by all sessions of the
+// archive (default 64 MiB; negative disables caching).
+func WithCache(bytes int64) RemoteOption {
+	return func(o *remoteOptions) { o.cacheBytes = bytes }
+}
+
+// WithRetries sets how many times failed requests are re-attempted
+// (default 3; negative disables retries).
+func WithRetries(n int) RemoteOption {
+	return func(o *remoteOptions) { o.maxRetries = n }
+}
+
+// WithHTTPClient overrides the HTTP transport.
+func WithHTTPClient(hc *http.Client) RemoteOption {
+	return func(o *remoteOptions) { o.httpClient = hc }
 }
 
 // RemoteStats snapshots a remote archive's wire accounting: fragment
@@ -165,18 +212,21 @@ type RemoteConfig struct {
 type RemoteStats = client.Stats
 
 // OpenRemote opens a dataset hosted by a progqoid fragment service (see
-// cmd/progqoid). Only retrieval metadata crosses the wire up front;
-// sessions opened with Archive.Open then pull exactly the fragments each
-// tolerance needs, batched into one request per retrieval iteration.
-func OpenRemote(baseURL, dataset string, cfg ...RemoteConfig) (*Archive, error) {
-	var rc RemoteConfig
-	if len(cfg) > 0 {
-		rc = cfg[0]
+// cmd/progqoid). Only retrieval metadata crosses the wire up front —
+// scoped by ctx — and sessions opened with Archive.Open then pull exactly
+// the fragments each tolerance needs, batched into one request per
+// retrieval iteration under each Do call's own context.
+func OpenRemote(ctx context.Context, baseURL, dataset string, opts ...RemoteOption) (*Archive, error) {
+	var ro remoteOptions
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&ro)
+		}
 	}
-	rem, err := client.Open(baseURL, dataset, client.Options{
-		CacheBytes: rc.CacheBytes,
-		MaxRetries: rc.MaxRetries,
-		HTTPClient: rc.HTTPClient,
+	rem, err := client.Open(ctx, baseURL, dataset, client.Options{
+		CacheBytes: ro.cacheBytes,
+		MaxRetries: ro.maxRetries,
+		HTTPClient: ro.httpClient,
 	})
 	if err != nil {
 		return nil, err
@@ -256,29 +306,57 @@ type FetchObserver = progressive.FetchFunc
 // settings (tightening factor c = 1.5, max-error-point optimization on).
 type SessionConfig = core.Config
 
-// Session is an incremental QoI-preserving retrieval session. Fragments
-// fetched by one Retrieve call are reused by every later call.
+// OpenOption configures Archive.Open, in the same functional-options idiom
+// Refactor and OpenRemote use.
+type OpenOption func(*openOptions)
+
+type openOptions struct {
+	fetch FetchObserver
+	cfg   SessionConfig
+}
+
+// WithFetchObserver registers a callback that sees every fragment fetch
+// (index, size) the session performs — byte accounting, transfer
+// simulation (netsim.Recorder), progress meters.
+func WithFetchObserver(fetch FetchObserver) OpenOption {
+	return func(o *openOptions) { o.fetch = fetch }
+}
+
+// WithSessionConfig overrides the retrieval-loop settings (tightening
+// factor, iteration cap, worker count, estimator ablations).
+func WithSessionConfig(cfg SessionConfig) OpenOption {
+	return func(o *openOptions) { o.cfg = cfg }
+}
+
+// Session is an incremental QoI-preserving retrieval session: a stateful
+// cursor over the archive whose fragments, once fetched by any Do call,
+// are reused by every later call. Use a Session from one goroutine at a
+// time; open one Session per goroutine for parallel retrieval (the archive
+// and, for remote archives, the shared fragment cache are
+// concurrency-safe).
 type Session struct {
 	rt *core.Retriever
 }
 
-// Open starts a retrieval session over the archive. fetch may be nil. On a
-// remote archive the session's fragment fetches cross the wire, batched
-// into one request per retrieval iteration; concurrent sessions share the
-// archive's fragment cache and coalesce duplicate fetches.
-func (a *Archive) Open(fetch FetchObserver, cfg ...SessionConfig) (*Session, error) {
-	var c core.Config
-	if len(cfg) > 0 {
-		c = cfg[0]
+// Open starts a retrieval session over the archive. On a remote archive
+// the session's fragment fetches cross the wire, batched into one request
+// per retrieval iteration; concurrent sessions share the archive's
+// fragment cache and coalesce duplicate fetches.
+func (a *Archive) Open(opts ...OpenOption) (*Session, error) {
+	var o openOptions
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
 	}
 	var (
 		rt  *core.Retriever
 		err error
 	)
 	if a.remote != nil {
-		rt, err = a.remote.NewSession(fetch, c)
+		rt, err = a.remote.NewSession(o.fetch, o.cfg)
 	} else {
-		rt, err = core.NewRetriever(a.vars, c, fetch)
+		rt, err = core.NewRetriever(a.vars, o.cfg, o.fetch)
 	}
 	if err != nil {
 		return nil, err
@@ -286,36 +364,169 @@ func (a *Archive) Open(fetch FetchObserver, cfg ...SessionConfig) (*Session, err
 	return &Session{rt: rt}, nil
 }
 
-// Retrieve fetches just enough fragments to certify every QoI within its
-// absolute tolerance, returning the reconstruction and the certified error
-// estimates. When tolerances cannot be certified even at full fidelity it
-// returns the best-effort Result together with ErrExhausted.
-func (s *Session) Retrieve(qois []QoI, tolerances []float64) (*Result, error) {
-	return s.rt.Retrieve(core.Request{QoIs: qois, Tolerances: tolerances})
-}
-
 // Region is a half-open flat-index range of the data space used for
 // region-of-interest retrieval; the zero Region means the whole domain.
 type Region = core.Region
 
+// Target is one quantity of interest with its own error requirement: an
+// absolute tolerance, or a tolerance relative to the QoI's value range,
+// certified over the whole domain or just a Region. A Request mixes
+// targets freely — the same QoI may appear twice with different regions
+// and tolerances to express spatially varying fidelity.
+type Target struct {
+	// QoI is the derivable quantity to certify.
+	QoI QoI
+	// Tolerance is the requested max error: absolute by default, or a
+	// fraction of Range when Relative is set. Must be positive.
+	Tolerance float64
+	// Relative interprets Tolerance as Tolerance × Range (the paper's
+	// evaluation convention) and seeds the error-bound assigner with the
+	// relative value.
+	Relative bool
+	// Range is the QoI's value range (see QoIRanges); required when
+	// Relative is set, ignored otherwise.
+	Range float64
+	// Region restricts certification to a flat-index range; the zero
+	// Region means the whole domain.
+	Region Region
+}
+
+// Request asks one Do call to certify a set of Targets.
+type Request struct {
+	Targets []Target
+	// OnProgress, when set, fires after every certify-loop iteration with
+	// the current per-QoI estimated errors and cumulative byte counts —
+	// render convergence, or cancel the Do context from inside the
+	// callback to stop early and keep the best-effort Result. It runs on
+	// the retrieving goroutine.
+	OnProgress func(Iteration)
+}
+
+// toCore validates the request and lowers it to the core representation.
+// Every validation failure wraps ErrBadRequest.
+func (r Request) toCore() (core.Request, error) {
+	if len(r.Targets) == 0 {
+		return core.Request{}, fmt.Errorf("%w: request has no targets", ErrBadRequest)
+	}
+	creq := core.Request{
+		QoIs:       make([]qoi.QoI, len(r.Targets)),
+		Tolerances: make([]float64, len(r.Targets)),
+		OnProgress: r.OnProgress,
+	}
+	regions := false
+	relative := false
+	for k, t := range r.Targets {
+		creq.QoIs[k] = t.QoI
+		if !(t.Tolerance > 0) {
+			return core.Request{}, fmt.Errorf("%w: target %d (%s): tolerance must be positive, got %g",
+				ErrBadRequest, k, t.QoI.Name, t.Tolerance)
+		}
+		if t.Relative {
+			if !(t.Range > 0) {
+				return core.Request{}, fmt.Errorf("%w: target %d (%s): relative tolerance needs a positive Range, got %g",
+					ErrBadRequest, k, t.QoI.Name, t.Range)
+			}
+			relative = true
+			creq.Tolerances[k] = t.Tolerance * t.Range
+		} else {
+			creq.Tolerances[k] = t.Tolerance
+		}
+		if t.Region != (Region{}) {
+			regions = true
+		}
+	}
+	if relative {
+		creq.InitRel = make([]float64, len(r.Targets))
+		for k, t := range r.Targets {
+			if t.Relative {
+				creq.InitRel[k] = t.Tolerance
+			}
+		}
+	}
+	if regions {
+		creq.Regions = make([]Region, len(r.Targets))
+		for k, t := range r.Targets {
+			creq.Regions[k] = t.Region
+		}
+	}
+	return creq, nil
+}
+
+// Do fetches just enough fragments to certify every target, returning the
+// reconstruction and the certified error estimates (EstErrors[k] belongs
+// to Targets[k]). Fragments fetched by one Do call are reused by every
+// later call on the same Session.
+//
+// ctx scopes the retrieval end to end: cancellation or deadline expiry is
+// honored between loop iterations, between fragment ingests, and on
+// in-flight HTTP requests of a remote session. On cancellation Do returns
+// the best-effort Result accumulated so far together with an error
+// wrapping ctx.Err(); the Session stays valid, and a follow-up Do resumes
+// without re-fetching any fragment already held. A nil ctx means
+// context.Background().
+//
+// When the targets cannot be certified even at full fidelity, Do returns
+// the best-effort Result together with ErrExhausted. Invalid requests
+// return an error wrapping ErrBadRequest.
+func (s *Session) Do(ctx context.Context, req Request) (*Result, error) {
+	creq, err := req.toCore()
+	if err != nil {
+		return nil, err
+	}
+	return s.rt.Retrieve(ctx, creq)
+}
+
+// Retrieve certifies every QoI within its absolute tolerance over the
+// whole domain.
+//
+// Deprecated: use Do, which composes tolerances, regions and relative
+// targets in one request and adds context cancellation and progress
+// streaming. Retrieve is Do with one absolute whole-domain Target per QoI
+// under context.Background().
+func (s *Session) Retrieve(qois []QoI, tolerances []float64) (*Result, error) {
+	if len(tolerances) != len(qois) {
+		return nil, fmt.Errorf("%w: %d tolerances for %d QoIs", ErrBadRequest, len(tolerances), len(qois))
+	}
+	targets := make([]Target, len(qois))
+	for k := range qois {
+		targets[k] = Target{QoI: qois[k], Tolerance: tolerances[k]}
+	}
+	return s.Do(context.Background(), Request{Targets: targets})
+}
+
 // RetrieveRegions is Retrieve with per-QoI regions of interest: QoI k is
-// certified only over regions[k]. Request the same QoI twice with
-// different regions and tolerances to express spatially varying fidelity.
+// certified only over regions[k]. A nil regions slice means the whole
+// domain for every QoI, as before.
+//
+// Deprecated: use Do with per-Target Regions.
 func (s *Session) RetrieveRegions(qois []QoI, tolerances []float64, regions []Region) (*Result, error) {
-	return s.rt.Retrieve(core.Request{QoIs: qois, Tolerances: tolerances, Regions: regions})
+	if regions == nil {
+		regions = make([]Region, len(qois))
+	}
+	if len(tolerances) != len(qois) || len(regions) != len(qois) {
+		return nil, fmt.Errorf("%w: %d tolerances / %d regions for %d QoIs",
+			ErrBadRequest, len(tolerances), len(regions), len(qois))
+	}
+	targets := make([]Target, len(qois))
+	for k := range qois {
+		targets[k] = Target{QoI: qois[k], Tolerance: tolerances[k], Region: regions[k]}
+	}
+	return s.Do(context.Background(), Request{Targets: targets})
 }
 
 // RetrieveRelative is Retrieve with tolerances relative to the given QoI
 // ranges (the paper's evaluation convention): absolute τ = rel × range.
+//
+// Deprecated: use Do with Relative Targets.
 func (s *Session) RetrieveRelative(qois []QoI, rel []float64, qoiRanges []float64) (*Result, error) {
 	if len(rel) != len(qois) || len(qoiRanges) != len(qois) {
-		return nil, fmt.Errorf("progqoi: rel/range length mismatch")
+		return nil, fmt.Errorf("%w: rel/range length mismatch", ErrBadRequest)
 	}
-	abs := make([]float64, len(rel))
-	for i := range rel {
-		abs[i] = rel[i] * qoiRanges[i]
+	targets := make([]Target, len(qois))
+	for k := range qois {
+		targets[k] = Target{QoI: qois[k], Tolerance: rel[k], Relative: true, Range: qoiRanges[k]}
 	}
-	return s.rt.Retrieve(core.Request{QoIs: qois, Tolerances: abs, InitRel: rel})
+	return s.Do(context.Background(), Request{Targets: targets})
 }
 
 // RetrievedBytes returns the session's cumulative fetched bytes.

@@ -29,7 +29,7 @@ func TestPublicAPIQuickPath(t *testing.T) {
 	if arch.StoredBytes() <= 0 {
 		t.Fatal("no stored bytes")
 	}
-	sess, err := arch.Open(nil)
+	sess, err := arch.Open()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestAllMethodsThroughFacade(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
-		sess, err := arch.Open(nil)
+		sess, err := arch.Open()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +82,7 @@ func TestRetrieveRelative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, _ := arch.Open(nil)
+	sess, _ := arch.Open()
 	vtot := TotalVelocity(0, 1, 2)
 	ranges := QoIRanges([]QoI{vtot}, fields)
 	res, err := sess.RetrieveRelative([]QoI{vtot}, []float64{1e-5}, ranges)
@@ -102,7 +102,7 @@ func TestFetchObserverThroughFacade(t *testing.T) {
 	names, fields, dims := demoFields(500)
 	arch, _ := Refactor(names, fields, dims)
 	var seen int64
-	sess, err := arch.Open(func(i int, size int64) { seen += size })
+	sess, err := arch.Open(WithFetchObserver(func(i int, size int64) { seen += size }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestExhaustedSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, _ := arch.Open(nil)
+	sess, _ := arch.Open()
 	vtot := TotalVelocity(0, 1, 2)
 	res, err := sess.Retrieve([]QoI{vtot}, []float64{1e-12})
 	if !errors.Is(err, ErrExhausted) {
@@ -166,7 +166,7 @@ func TestRetrieveRegionsThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, _ := arch.Open(nil)
+	sess, _ := arch.Open()
 	vtot := TotalVelocity(0, 1, 2)
 	hot := Region{Lo: 0, Hi: 300}
 	res, err := sess.RetrieveRegions(

@@ -9,6 +9,7 @@ package progqoi
 // wire accounting agreeing with internal/netsim's recorder.
 
 import (
+	"context"
 	"math"
 	"net/http/httptest"
 	"testing"
@@ -19,8 +20,9 @@ import (
 	"progqoi/internal/storage"
 )
 
-// serveArchive exposes a local archive through the real HTTP service.
-func serveArchive(t *testing.T, arch *Archive, name string) *httptest.Server {
+// serveArchiveHandler builds the real fragment-service handler over a
+// local archive held in a MemStore.
+func serveArchiveHandler(t *testing.T, arch *Archive, name string) *server.Server {
 	t.Helper()
 	st := storage.NewMemStore()
 	if err := storage.WriteArchive(st, name, arch.Variables()); err != nil {
@@ -30,7 +32,13 @@ func serveArchive(t *testing.T, arch *Archive, name string) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hs := httptest.NewServer(srv)
+	return srv
+}
+
+// serveArchive exposes a local archive through the real HTTP service.
+func serveArchive(t *testing.T, arch *Archive, name string) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(serveArchiveHandler(t, arch, name))
 	t.Cleanup(hs.Close)
 	return hs
 }
@@ -62,7 +70,7 @@ func TestRemoteRetrieveMatchesLocalEndToEnd(t *testing.T) {
 	}
 	hs := serveArchive(t, arch, "ge")
 
-	rarch, err := OpenRemote(hs.URL, "ge")
+	rarch, err := OpenRemote(context.Background(), hs.URL, "ge")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +93,7 @@ func TestRemoteRetrieveMatchesLocalEndToEnd(t *testing.T) {
 	ranges := QoIRanges(qois, ds.Fields)
 
 	// Local reference run.
-	lsess, err := arch.Open(nil)
+	lsess, err := arch.Open()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +104,7 @@ func TestRemoteRetrieveMatchesLocalEndToEnd(t *testing.T) {
 	var remote []*Result
 	var recBytes int64
 	run, err := netsim.Run(1, 1, netsim.DefaultGlobusLink, func(_ int, rec *netsim.Recorder) error {
-		rsess, err := rarch.Open(rec.Observe)
+		rsess, err := rarch.Open(WithFetchObserver(rec.Observe))
 		if err != nil {
 			return err
 		}
@@ -156,7 +164,7 @@ func TestRemoteRetrieveMatchesLocalEndToEnd(t *testing.T) {
 	// Repeated workload: a second session re-requests every fragment, so
 	// its logical bytes match, but the shared cache keeps them off the
 	// wire — wire bytes must not grow (strictly less than 2× logical).
-	rsess2, err := rarch.Open(nil)
+	rsess2, err := rarch.Open()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +198,7 @@ func TestOpenRemoteUnknownDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 	hs := serveArchive(t, arch, "ge")
-	if _, err := OpenRemote(hs.URL, "missing"); err == nil {
+	if _, err := OpenRemote(context.Background(), hs.URL, "missing"); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }
