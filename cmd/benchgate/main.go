@@ -1,0 +1,258 @@
+// Command benchgate is the CI benchmark-regression gate. It parses Go
+// benchmark output, compares the median ns/op of each benchmark against a
+// committed JSON baseline, and exits non-zero when any gated benchmark
+// regressed past the threshold — or when a required parallel speedup is
+// not met. It also converts between the JSON baseline format and the raw
+// text benchstat consumes, so the CI job can render a human-readable
+// benchstat table next to the machine-checked gate.
+//
+// Usage:
+//
+//	benchgate -current bench.txt -baseline BENCH_pr3_baseline.json \
+//	          -threshold 0.10 -match 'Advance|Do' -out BENCH_pr.json \
+//	          -export-baseline bench_baseline.txt
+//	benchgate -current bench.txt -speedup 'BenchmarkAdvanceSequential/BenchmarkAdvanceParallel>=2.0'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark snapshot: raw `go test -bench` output
+// lines plus provenance, so benchstat and the gate read the same numbers.
+type Baseline struct {
+	// Note documents where the snapshot came from and when to refresh it.
+	Note string `json:"note"`
+	// Go is the toolchain that produced the lines.
+	Go string `json:"go"`
+	// Benchtime and Count echo the flags the lines were produced with; the
+	// gate refuses to compare snapshots taken with different benchtime.
+	Benchtime string `json:"benchtime"`
+	Count     int    `json:"count"`
+	// CPUs is runtime.NumCPU() of the machine that produced the lines.
+	// When it differs from the gating machine the regression check is
+	// advisory only (printed, not failed): absolute ns/op medians from
+	// different hardware classes are not comparable — refresh the baseline
+	// on the target runner class (bench-baseline CI job) to arm the gate.
+	CPUs int `json:"cpus"`
+	// Lines are the raw benchmark result lines (only lines starting with
+	// "Benchmark" matter).
+	Lines []string `json:"lines"`
+}
+
+// benchLine matches `BenchmarkName-8   123   4567 ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// nameSuffix matches the -N GOMAXPROCS suffix Go appends to benchmark
+// names; exports strip it so benchstat aligns runs from machines with
+// different core counts.
+var nameSuffix = regexp.MustCompile(`^(Benchmark\S+?)-\d+(\s)`)
+
+func normalize(line string) string {
+	return nameSuffix.ReplaceAllString(strings.TrimSpace(line), "$1$2")
+}
+
+// writeBenchText writes benchmark lines (normalized) for benchstat.
+func writeBenchText(path string, lines []string) error {
+	var out []string
+	for _, ln := range lines {
+		if benchLine.MatchString(strings.TrimSpace(ln)) {
+			out = append(out, normalize(ln))
+		}
+	}
+	return os.WriteFile(path, []byte(strings.Join(out, "\n")+"\n"), 0o644)
+}
+
+// parse collects per-benchmark ns/op samples, normalizing away the -N
+// GOMAXPROCS suffix so runs from machines with different core counts
+// compare by name.
+func parse(lines []string) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, ln := range lines {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(ln))
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func readLines(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return strings.Split(string(b), "\n"), nil
+}
+
+var speedupRe = regexp.MustCompile(`^(Benchmark\S+)/(Benchmark\S+)>=([0-9.]+)$`)
+
+func main() {
+	var (
+		current    = flag.String("current", "", "current benchmark output (text)")
+		baseline   = flag.String("baseline", "", "committed baseline (JSON)")
+		threshold  = flag.Float64("threshold", 0.10, "max allowed median ns/op regression (fraction)")
+		match      = flag.String("match", ".", "regexp of benchmark names the regression gate checks")
+		out        = flag.String("out", "", "write the current results as a JSON snapshot (artifact / next baseline)")
+		exportBase = flag.String("export-baseline", "", "write the baseline's lines, name-normalized, to this file (for benchstat)")
+		exportCur  = flag.String("export-current", "", "write the current lines, name-normalized, to this file (for benchstat)")
+		speedup    = flag.String("speedup", "", "required ratio, e.g. 'BenchmarkA/BenchmarkB>=2.0' (median A / median B)")
+		benchtime  = flag.String("benchtime", "", "benchtime the current run used (recorded in -out, checked vs baseline)")
+		countFlag  = flag.Int("count", 0, "count the current run used (recorded in -out)")
+		noteFlag   = flag.String("note", "", "provenance note recorded in -out")
+	)
+	flag.Parse()
+	if *current == "" {
+		fatal("benchgate: -current is required")
+	}
+	curLines, err := readLines(*current)
+	if err != nil {
+		fatal("benchgate: %v", err)
+	}
+	cur := parse(curLines)
+	if len(cur) == 0 {
+		fatal("benchgate: no benchmark lines in %s", *current)
+	}
+
+	failed := false
+
+	if *exportCur != "" {
+		if err := writeBenchText(*exportCur, curLines); err != nil {
+			fatal("benchgate: %v", err)
+		}
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal("benchgate: %v", err)
+		}
+		var base Baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal("benchgate: parse %s: %v", *baseline, err)
+		}
+		if *benchtime != "" && base.Benchtime != "" && base.Benchtime != *benchtime {
+			fatal("benchgate: benchtime mismatch: baseline %q vs current %q", base.Benchtime, *benchtime)
+		}
+		if *exportBase != "" {
+			if err := writeBenchText(*exportBase, base.Lines); err != nil {
+				fatal("benchgate: %v", err)
+			}
+		}
+		advisory := base.CPUs != 0 && base.CPUs != runtime.NumCPU()
+		if advisory {
+			fmt.Printf("NOTE baseline recorded on %d-CPU hardware, gating machine has %d: regression check is advisory only.\n"+
+				"     Refresh the baseline on this runner class (bench-baseline job) to arm the gate.\n",
+				base.CPUs, runtime.NumCPU())
+		}
+		gate := regexp.MustCompile(*match)
+		baseRes := parse(base.Lines)
+		var names []string
+		for name := range baseRes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		checked := 0
+		for _, name := range names {
+			if !gate.MatchString(name) {
+				continue
+			}
+			samples, ok := cur[name]
+			if !ok {
+				fmt.Printf("GATE %-55s missing from current run\n", name)
+				failed = true
+				continue
+			}
+			checked++
+			b, c := median(baseRes[name]), median(samples)
+			delta := (c - b) / b
+			verdict := "ok"
+			if delta > *threshold {
+				if advisory {
+					verdict = fmt.Sprintf("slower than cross-hardware baseline (advisory, > %+.0f%%)", *threshold*100)
+				} else {
+					verdict = fmt.Sprintf("REGRESSION (> %+.0f%%)", *threshold*100)
+					failed = true
+				}
+			}
+			fmt.Printf("GATE %-55s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", name, b, c, delta*100, verdict)
+		}
+		if checked == 0 {
+			fatal("benchgate: no baseline benchmark matched %q", *match)
+		}
+	}
+
+	if *speedup != "" {
+		m := speedupRe.FindStringSubmatch(*speedup)
+		if m == nil {
+			fatal("benchgate: bad -speedup %q (want 'BenchmarkA/BenchmarkB>=2.0')", *speedup)
+		}
+		num, den := cur[m[1]], cur[m[2]]
+		want, _ := strconv.ParseFloat(m[3], 64)
+		if len(num) == 0 || len(den) == 0 {
+			fatal("benchgate: -speedup needs both %s and %s in the current run", m[1], m[2])
+		}
+		got := median(num) / median(den)
+		verdict := "ok"
+		if got < want {
+			verdict = "TOO SLOW"
+			failed = true
+		}
+		fmt.Printf("SPEEDUP %s/%s = %.2fx (want >= %.2fx, %d cores)  %s\n",
+			m[1], m[2], got, want, runtime.NumCPU(), verdict)
+	}
+
+	if *out != "" {
+		snap := Baseline{
+			Note:      *noteFlag,
+			Go:        runtime.Version(),
+			Benchtime: *benchtime,
+			Count:     *countFlag,
+			CPUs:      runtime.NumCPU(),
+		}
+		for _, ln := range curLines {
+			if benchLine.MatchString(strings.TrimSpace(ln)) {
+				snap.Lines = append(snap.Lines, strings.TrimSpace(ln))
+			}
+		}
+		blob, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal("benchgate: %v", err)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fatal("benchgate: %v", err)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

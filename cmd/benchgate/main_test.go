@@ -1,0 +1,72 @@
+package main
+
+import (
+	"math"
+	"os"
+	"testing"
+)
+
+func TestParseNormalizesGomaxprocsSuffix(t *testing.T) {
+	lines := []string{
+		"BenchmarkAdvanceParallel-4 \t 100\t 250000 ns/op\t 17.44 MB/s",
+		"BenchmarkAdvanceParallel-4 \t 100\t 260000 ns/op",
+		"BenchmarkAdvanceParallel \t 100\t 240000 ns/op",
+		"BenchmarkMultiQoIDo/workers=1-4 \t 10\t 1000000 ns/op",
+		"goos: linux",
+		"PASS",
+	}
+	got := parse(lines)
+	if len(got["BenchmarkAdvanceParallel"]) != 3 {
+		t.Fatalf("parallel samples: %v", got)
+	}
+	if len(got["BenchmarkMultiQoIDo/workers=1"]) != 1 {
+		t.Fatalf("sub-benchmark samples: %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %g", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); math.Abs(m-2.5) > 1e-12 {
+		t.Fatalf("even median = %g", m)
+	}
+}
+
+func TestNormalizeStripsSuffix(t *testing.T) {
+	in := "BenchmarkAdvanceParallel-4 \t 100\t 250000 ns/op"
+	if got := normalize(in); got != "BenchmarkAdvanceParallel \t 100\t 250000 ns/op" {
+		t.Fatalf("normalize = %q", got)
+	}
+	plain := "BenchmarkAdvanceParallel \t 100\t 250000 ns/op"
+	if got := normalize(plain); got != plain {
+		t.Fatalf("normalize mangled suffix-free line: %q", got)
+	}
+}
+
+func TestWriteBenchTextFiltersAndNormalizes(t *testing.T) {
+	path := t.TempDir() + "/bench.txt"
+	err := writeBenchText(path, []string{
+		"goos: linux",
+		"BenchmarkMultiQoIDo/workers=1-4 \t 10\t 1000000 ns/op",
+		"PASS",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "BenchmarkMultiQoIDo/workers=1 \t 10\t 1000000 ns/op\n"
+	if string(b) != want {
+		t.Fatalf("wrote %q, want %q", b, want)
+	}
+}
+
+func TestSpeedupExpr(t *testing.T) {
+	m := speedupRe.FindStringSubmatch("BenchmarkAdvanceSequential/BenchmarkAdvanceParallel>=2.0")
+	if m == nil || m[1] != "BenchmarkAdvanceSequential" || m[2] != "BenchmarkAdvanceParallel" || m[3] != "2.0" {
+		t.Fatalf("speedup expr parse: %v", m)
+	}
+}

@@ -7,14 +7,19 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"progqoi"
 	"progqoi/internal/datagen"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "retrieval worker pool (0 = GOMAXPROCS, 1 = sequential)")
+	flag.Parse()
+
 	ds := datagen.GESmall()
 	fmt.Printf("dataset: %s, %d points x %d fields (%.1f MB raw)\n",
 		ds.Name, ds.NumElements(), len(ds.Fields), float64(ds.TotalBytes())/1e6)
@@ -24,10 +29,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := arch.Open()
+	sess, err := arch.Open(progqoi.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
+	start := time.Now()
 
 	qois := progqoi.GEQoIs()
 	ranges := progqoi.QoIRanges(qois, ds.Fields)
@@ -52,6 +58,7 @@ func main() {
 		ok := actual[k] <= res.EstErrors[k] && res.EstErrors[k] <= req
 		fmt.Printf("%-6s  %-12.3e  %-12.3e  %-12.3e  %v\n", q.Name, req, res.EstErrors[k], actual[k], ok)
 	}
-	fmt.Printf("\nretrieved %.2f MB of %.2f MB raw (%d loop iterations)\n",
-		float64(res.RetrievedBytes)/1e6, float64(ds.TotalBytes())/1e6, res.Iterations)
+	fmt.Printf("\nretrieved %.2f MB of %.2f MB raw (%d loop iterations, %.2fs)\n",
+		float64(res.RetrievedBytes)/1e6, float64(ds.TotalBytes())/1e6, res.Iterations,
+		time.Since(start).Seconds())
 }

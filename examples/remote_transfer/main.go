@@ -33,6 +33,7 @@ import (
 
 func main() {
 	urlFlag := flag.String("url", "", `also retrieve over a real fragment server: "self" serves in-process, otherwise a progqoid base URL hosting block0..blockN datasets`)
+	readAhead := flag.Int("readahead", 0, "remote read-ahead pipeline depth (fragments per variable fetched while decoding; 0 = off)")
 	flag.Parse()
 
 	const workers = 16
@@ -71,7 +72,8 @@ func main() {
 		}
 		remotes = make([]*progqoi.Archive, workers)
 		for b := 0; b < workers; b++ {
-			arch, err := progqoi.OpenRemote(context.Background(), base, fmt.Sprintf("block%d", b))
+			arch, err := progqoi.OpenRemote(context.Background(), base, fmt.Sprintf("block%d", b),
+				progqoi.WithReadAhead(*readAhead))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -213,6 +213,51 @@ func (d *Decoder) Values() []float64 {
 // Bound returns the current guaranteed L∞ error of Values().
 func (d *Decoder) Bound() float64 { return d.blk.Bound(d.applied) }
 
+// The three-step decode surface below (RawBitmap → OrPlane/SetSigns →
+// CommitPlanes) decomposes Advance so a caller can decompress fragments and
+// apply bit planes with its own worker pool. Advance(k) is exactly
+// RawBitmap of each missing plane (plus signs when starting from zero),
+// OrPlane over the whole coefficient range, then CommitPlanes(k); any
+// interleaving of disjoint OrPlane ranges produces bit-identical magnitudes
+// because plane application only ORs independent bits.
+
+// RawBitmap decompresses one of the block's compressed fragments (a
+// magnitude plane or the sign fragment) into its raw bitmap of
+// ceil(N/8) bytes. It does not touch decoder state and is safe to call
+// concurrently.
+func (b *Block) RawBitmap(frag []byte) ([]byte, error) {
+	return decompressFragment(frag, (b.N+7)/8)
+}
+
+// OrPlane ORs the raw bitmap of plane p into the decoder's magnitudes for
+// coefficients [lo, hi). Callers running concurrent OrPlane calls must keep
+// their ranges disjoint; planes of the same range may be applied in any
+// order. Applied() is unchanged until CommitPlanes.
+func (d *Decoder) OrPlane(p int, raw []byte, lo, hi int) {
+	bit := uint(d.blk.B - 1 - p)
+	for i := lo; i < hi; i++ {
+		if raw[i/8]>>uint(i%8)&1 == 1 {
+			d.mags[i] |= 1 << bit
+		}
+	}
+}
+
+// SetSigns installs the decompressed sign bitmap (RawBitmap of Block.Signs).
+func (d *Decoder) SetSigns(raw []byte) { d.signs = raw }
+
+// CommitPlanes records that every plane below k has been fully applied via
+// OrPlane, making Values()/Bound() reflect them. k past B is clamped;
+// committing below the current Applied() is a no-op, so replays of
+// already-applied planes (idempotent under OR) are harmless.
+func (d *Decoder) CommitPlanes(k int) {
+	if k > d.blk.B {
+		k = d.blk.B
+	}
+	if k > d.applied {
+		d.applied = k
+	}
+}
+
 // fragment framing: tag byte 0 = raw, 1 = deflate(payload).
 
 func compressFragment(raw []byte) ([]byte, error) {

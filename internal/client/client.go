@@ -49,6 +49,14 @@ type Options struct {
 	// CacheBytes bounds the shared fragment cache (default
 	// DefaultCacheBytes; negative disables caching).
 	CacheBytes int64
+	// ReadAhead pipelines network fetch with decode: after each batched
+	// session fetch, up to ReadAhead further fragments per variable (the
+	// ones a tightening iteration would request next) are fetched in the
+	// background into the shared cache while the session decodes the batch
+	// it already has. 0 disables the pipeline. Speculative fragments count
+	// toward WireBytes even if never ingested, so on workloads that stop
+	// early the wire total can exceed a session's RetrievedBytes.
+	ReadAhead int
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +101,9 @@ type Stats struct {
 	// Coalesced counts fragment lookups that piggybacked on another
 	// session's in-flight fetch.
 	Coalesced int64
+	// Speculated counts fragments requested by the read-ahead pipeline
+	// (Options.ReadAhead) rather than by a session's current plan.
+	Speculated int64
 	// CacheBytes / CacheEntries / CacheEvictions describe the LRU.
 	CacheBytes     int64
 	CacheEntries   int
@@ -125,6 +136,7 @@ type Client struct {
 	fragsFetched atomic.Int64
 	cacheHits    atomic.Int64
 	coalesced    atomic.Int64
+	speculated   atomic.Int64
 }
 
 // New returns a client for the service at baseURL (e.g. "http://host:9123").
@@ -153,6 +165,7 @@ func (c *Client) Stats() Stats {
 		FragmentsFetched: c.fragsFetched.Load(),
 		CacheHits:        c.cacheHits.Load(),
 		Coalesced:        c.coalesced.Load(),
+		Speculated:       c.speculated.Load(),
 		CacheBytes:       cb,
 		CacheEntries:     ce,
 		CacheEvictions:   ev,

@@ -5,12 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"progqoi/internal/core"
 	"progqoi/internal/progressive"
 	"progqoi/internal/server"
 	"progqoi/internal/storage"
 )
+
+// readAheadTimeout bounds one background read-ahead fetch; nothing waits on
+// it, so a stuck speculative request must time itself out.
+const readAheadTimeout = 2 * time.Minute
 
 // ErrReadOnly reports a write against the remote store, which the fragment
 // service does not accept: archives are immutable once refactored.
@@ -66,7 +72,14 @@ type Remote struct {
 	dataset string
 	vars    []*core.Variable // meta-only: fragment payloads are placeholders
 	stored  int64
+
+	specWG sync.WaitGroup // in-flight read-ahead fetches
 }
+
+// WaitReadAhead blocks until every in-flight background read-ahead fetch
+// has finished — for orderly shutdown and deterministic tests; sessions
+// never need it.
+func (r *Remote) WaitReadAhead() { r.specWG.Wait() }
 
 // Open dials baseURL and opens the named dataset with fresh client
 // options; ctx scopes the metadata round trips. Share one Client across
@@ -144,6 +157,13 @@ func (r *Remote) StoredBytes() int64 { return r.stored }
 // observes every ingested fragment exactly as in the local path, so byte
 // accounting (e.g. a netsim.Recorder) works identically. Any Prefetch
 // already set in cfg is replaced.
+//
+// With Options.ReadAhead > 0 the prefetch hook pipelines the wire with the
+// decoder: once iteration N's batch is installed it launches a background
+// fetch of the fragments a tightening iteration would request next, so the
+// network works on batch N+1 while the worker pool decodes batch N. The
+// speculative payloads land in the client's shared cache; iteration N+1
+// either hits the cache or coalesces onto the still-in-flight fetch.
 func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core.Retriever, error) {
 	// Each session owns its fragment payload slots; metadata (blocks,
 	// bounds, schedules, masks) is immutable and shared across sessions.
@@ -179,8 +199,52 @@ func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core
 				vars[vi].Ref.Fragments[fi] = payload
 			}
 		}
+		r.readAhead(need, vars)
 		return nil
 	}
 	cfg.WireBytes = func() int64 { return r.c.wireBytes.Load() }
 	return core.NewRetriever(vars, cfg, fetch)
+}
+
+// readAhead launches the speculative fetch of the fragments just past each
+// variable's current plan (the contiguous-prefix representations always
+// request next fragments in order, so the prediction is exact for PMGARD
+// and PSZ3-Delta). It returns immediately; errors are swallowed — a failed
+// speculation costs nothing but the attempt.
+func (r *Remote) readAhead(need [][]int, vars []*core.Variable) {
+	ra := r.c.opts.ReadAhead
+	if ra <= 0 {
+		return
+	}
+	spec := map[string][]int{}
+	var count int64
+	for vi, idxs := range need {
+		if len(idxs) == 0 {
+			continue
+		}
+		last := idxs[0]
+		for _, fi := range idxs {
+			if fi > last {
+				last = fi
+			}
+		}
+		frags := vars[vi].Ref.Fragments
+		for fi := last + 1; fi <= last+ra && fi < len(frags); fi++ {
+			if len(frags[fi]) == 0 {
+				spec[vars[vi].Name] = append(spec[vars[vi].Name], fi)
+				count++
+			}
+		}
+	}
+	if len(spec) == 0 {
+		return
+	}
+	r.c.speculated.Add(count)
+	r.specWG.Add(1)
+	go func() {
+		defer r.specWG.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), readAheadTimeout)
+		defer cancel()
+		r.c.Fragments(sctx, r.dataset, spec) //nolint:errcheck // speculative
+	}()
 }

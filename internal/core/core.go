@@ -22,6 +22,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"progqoi/internal/progressive"
 	"progqoi/internal/qoi"
@@ -161,7 +162,10 @@ type Config struct {
 	TightenFactor float64
 	// MaxIters caps outer loop iterations (default 500).
 	MaxIters int
-	// Workers bounds estimation parallelism (default GOMAXPROCS).
+	// Workers bounds the retrieval compute pool (default GOMAXPROCS): the
+	// per-variable fragment-decode pools, the concurrent per-variable
+	// advance, and per-QoI error estimation all share this bound. 1 selects
+	// the fully sequential path; results are bit-identical either way.
 	Workers int
 	// FullReassign disables the max-error-point optimization and re-runs
 	// Algorithm 4 against the full field each round (ablation; slower,
@@ -241,12 +245,25 @@ var ErrExhausted = errors.New("core: representation exhausted before tolerance m
 // fragment fetch for byte accounting or transfer simulation.
 func NewRetriever(vars []*Variable, cfg Config, fetch progressive.FetchFunc) (*Retriever, error) {
 	rt := &Retriever{vars: vars, cfg: cfg.withDefaults()}
+	if fetch != nil && rt.cfg.Workers > 1 && len(vars) > 1 {
+		// Variables advance concurrently, but the observer contract predates
+		// that: serialize callbacks so observers (netsim.Recorder and
+		// friends) never see concurrent calls.
+		var mu sync.Mutex
+		inner := fetch
+		fetch = func(i int, size int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(i, size)
+		}
+	}
 	ne := -1
 	for _, v := range vars {
 		rd, err := progressive.NewReader(v.Ref, fetch)
 		if err != nil {
 			return nil, fmt.Errorf("core: open %s: %w", v.Name, err)
 		}
+		rd.SetWorkers(rt.cfg.Workers)
 		rt.readers = append(rt.readers, rd)
 		n := v.Ref.NumElements()
 		if ne < 0 {
@@ -465,6 +482,9 @@ func (rt *Retriever) assignInitial(req Request, qoiVars [][]int) {
 
 // advance asks every involved reader for its assigned bound and refreshes
 // the masked data views. It reports whether any reader fetched new bytes.
+// Variables advance concurrently (each with its own decode pool) when
+// Workers > 1; per-variable state is independent and results merge by
+// index, so the outcome is identical to the sequential order.
 func (rt *Retriever) advance(ctx context.Context, involved map[int]bool) (bool, error) {
 	if rt.cfg.Prefetch != nil {
 		need := make([][]int, len(rt.vars))
@@ -484,25 +504,70 @@ func (rt *Retriever) advance(ctx context.Context, involved map[int]bool) (bool, 
 			}
 		}
 	}
-	progressed := false
+	var todo []int
 	for v := range rt.vars {
-		if !involved[v] {
-			continue
+		if involved[v] {
+			todo = append(todo, v)
 		}
+	}
+	moved := make([]bool, len(todo))
+	errs := make([]error, len(todo))
+	one := func(i int) {
+		v := todo[i]
 		before := rt.readers[v].RetrievedBytes()
 		b, err := rt.readers[v].Advance(ctx, rt.eps[v])
 		if err != nil {
-			return false, fmt.Errorf("core: advance %s: %w", rt.vars[v].Name, err)
+			errs[i] = fmt.Errorf("core: advance %s: %w", rt.vars[v].Name, err)
+			return
 		}
 		if rt.readers[v].RetrievedBytes() != before || b != rt.achieved[v] {
-			progressed = true
+			moved[i] = true
 		}
 		rt.achieved[v] = b
 		data, err := rt.readers[v].Data()
 		if err != nil {
-			return false, fmt.Errorf("core: data %s: %w", rt.vars[v].Name, err)
+			errs[i] = fmt.Errorf("core: data %s: %w", rt.vars[v].Name, err)
+			return
 		}
 		rt.masked[v] = rt.applyMask(v, data)
+	}
+	if rt.cfg.Workers > 1 && len(todo) > 1 {
+		// Split the one Workers budget between the concurrently advancing
+		// variables so the per-reader decode pools don't multiply into
+		// Workers² goroutines; the split changes nothing observable because
+		// reader output is chunking-independent.
+		share := (rt.cfg.Workers + len(todo) - 1) / len(todo)
+		for _, v := range todo {
+			rt.readers[v].SetWorkers(share)
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, rt.cfg.Workers)
+		for i := range todo {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				one(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for _, v := range todo {
+			rt.readers[v].SetWorkers(rt.cfg.Workers)
+		}
+		for i := range todo {
+			one(i)
+		}
+	}
+	progressed := false
+	for i := range todo {
+		if errs[i] != nil {
+			return false, errs[i]
+		}
+		if moved[i] {
+			progressed = true
+		}
 	}
 	return progressed, nil
 }
@@ -539,8 +604,12 @@ func (rt *Retriever) pointBounds(j int, ebs []float64) {
 	}
 }
 
-// estimateAll evaluates every QoI bound at every point in parallel,
-// returning per-QoI max estimates and their argmax locations.
+// estimateAll evaluates every QoI bound at every point, returning per-QoI
+// max estimates and their argmax locations. Work is sharded as
+// (QoI, point-chunk) tasks over one bounded pool, so the Targets of a
+// mixed-QoI request estimate concurrently and a region-restricted QoI only
+// walks its own region. Partials merge in fixed chunk order per QoI, so
+// the result is independent of scheduling.
 func (rt *Retriever) estimateAll(req Request, qoiVars [][]int, ne int) ([]float64, []int, error) {
 	nq := len(req.QoIs)
 	workers := rt.cfg.Workers
@@ -559,67 +628,97 @@ func (rt *Retriever) estimateAll(req Request, qoiVars [][]int, ne int) ([]float6
 			rlo[k], rhi[k] = req.Regions[k].Lo, req.Regions[k].Hi
 		}
 	}
+	// Fixed chunk grid over the point space, deliberately independent of the
+	// worker count: the tasks and their merge order are then identical for
+	// every Workers setting, so argmax tie-breaks (and the byte-fetch
+	// sequence that hangs off them via reassign) cannot vary with
+	// parallelism. Each chunk evaluates every QoI whose region covers it,
+	// sharing one pointBounds/vals gather per point across the QoIs.
+	const size = 4096
+	nchunks := (ne + size - 1) / size
 	type partial struct {
 		max    []float64
 		argmax []int
 	}
-	parts := make([]partial, workers)
-	chunk := (ne + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
+	parts := make([]partial, nchunks)
+	run := func(c int) {
+		lo, hi := c*size, (c+1)*size
 		if hi > ne {
 			hi = ne
 		}
-		if lo >= hi {
-			parts[w] = partial{max: make([]float64, nq), argmax: make([]int, nq)}
-			continue
+		p := partial{max: make([]float64, nq), argmax: make([]int, nq)}
+		for k := range p.argmax {
+			p.argmax[k] = rlo[k]
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			p := partial{max: make([]float64, nq), argmax: make([]int, nq)}
-			for k := range p.argmax {
-				p.argmax[k] = rlo[k]
+		active := make([]int, 0, nq)
+		for k := 0; k < nq; k++ {
+			if rlo[k] < hi && rhi[k] > lo {
+				active = append(active, k)
 			}
-			vals := make([]float64, len(rt.vars))
-			ebs := make([]float64, len(rt.vars))
-			for j := lo; j < hi; j++ {
-				rt.pointBounds(j, ebs)
-				for v := range rt.vars {
-					if rt.masked[v] != nil {
-						vals[v] = rt.masked[v][j]
-					}
-				}
-				for k, q := range req.QoIs {
-					if j < rlo[k] || j >= rhi[k] {
-						continue
-					}
-					_, b := rt.cfg.Estimator(q.Expr, vals, ebs)
-					if b > p.max[k] || math.IsNaN(b) {
-						if math.IsNaN(b) {
-							b = math.Inf(1)
-						}
-						p.max[k] = b
-						p.argmax[k] = j
-					}
+		}
+		parts[c] = p
+		if len(active) == 0 {
+			return
+		}
+		vals := make([]float64, len(rt.vars))
+		ebs := make([]float64, len(rt.vars))
+		for j := lo; j < hi; j++ {
+			rt.pointBounds(j, ebs)
+			for v := range rt.vars {
+				if rt.masked[v] != nil {
+					vals[v] = rt.masked[v][j]
 				}
 			}
-			parts[w] = p
-		}(w, lo, hi)
+			for _, k := range active {
+				if j < rlo[k] || j >= rhi[k] {
+					continue
+				}
+				_, b := rt.cfg.Estimator(req.QoIs[k].Expr, vals, ebs)
+				if b > p.max[k] || math.IsNaN(b) {
+					if math.IsNaN(b) {
+						b = math.Inf(1)
+					}
+					p.max[k] = b
+					p.argmax[k] = j
+				}
+			}
+		}
+		parts[c] = p
 	}
-	wg.Wait()
+	if workers > 1 && nchunks > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		nw := workers
+		if nw > nchunks {
+			nw = nchunks
+		}
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= nchunks {
+						return
+					}
+					run(c)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for c := 0; c < nchunks; c++ {
+			run(c)
+		}
+	}
 	max := make([]float64, nq)
 	argmax := make([]int, nq)
 	for k := 0; k < nq; k++ {
-		for w := range parts {
-			if parts[w].max == nil {
-				continue
-			}
-			if parts[w].max[k] >= max[k] {
-				max[k] = parts[w].max[k]
-				argmax[k] = parts[w].argmax[k]
+		argmax[k] = rlo[k]
+		for c := 0; c < nchunks; c++ {
+			if parts[c].max[k] >= max[k] {
+				max[k] = parts[c].max[k]
+				argmax[k] = parts[c].argmax[k]
 			}
 		}
 		// Guard the estimate against the few ulp the estimator itself

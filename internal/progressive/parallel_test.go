@@ -1,0 +1,272 @@
+package progressive
+
+// parallel_test.go proves the worker-pool decode path: for every method and
+// worker count the parallel Reader must produce bit-identical
+// reconstructions, equal bounds, and equal byte accounting versus the
+// sequential reference — including across cancellation mid-pool, where the
+// committed prefix must leave the reader resumable.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// advanceLadder drives rd through a tightening target ladder, returning the
+// final (bound, retrieved, data-bits) state.
+func advanceLadder(t *testing.T, rd *Reader, targets []float64) (float64, int64, []uint64) {
+	t.Helper()
+	var bound float64
+	for _, tg := range targets {
+		var err error
+		bound, err = rd.Advance(context.Background(), tg)
+		if err != nil {
+			t.Fatalf("advance to %g: %v", tg, err)
+		}
+	}
+	data, err := rd.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]uint64, len(data))
+	for i, v := range data {
+		bits[i] = math.Float64bits(v)
+	}
+	return bound, rd.RetrievedBytes(), bits
+}
+
+func TestAdvanceParallelMatchesSequential(t *testing.T) {
+	dims := []int{37, 41}
+	field := smoothField(dims)
+	for _, m := range allMethods {
+		ref, err := Refactor(field, dims, Options{Method: m, LosslessTail: true})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		targets := []float64{1e-1, 1e-3, 1e-6, 0}
+		seq, err := NewReader(ref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq.SetWorkers(1)
+		wantBound, wantBytes, wantBits := advanceLadder(t, seq, targets)
+		for _, workers := range []int{2, 3, 8, 64} {
+			rd, err := NewReader(ref, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd.SetWorkers(workers)
+			if rd.Workers() != workers {
+				t.Fatalf("Workers() = %d, want %d", rd.Workers(), workers)
+			}
+			bound, bytes, bits := advanceLadder(t, rd, targets)
+			if bound != wantBound {
+				t.Fatalf("%v workers=%d: bound %g, want %g", m, workers, bound, wantBound)
+			}
+			if bytes != wantBytes {
+				t.Fatalf("%v workers=%d: retrieved %d, want %d", m, workers, bytes, wantBytes)
+			}
+			for j := range bits {
+				if bits[j] != wantBits[j] {
+					t.Fatalf("%v workers=%d: point %d differs: %x vs %x", m, workers, j, bits[j], wantBits[j])
+				}
+			}
+		}
+	}
+}
+
+// TestAdvanceParallelObserverOrder checks the fetch observer still sees
+// every fragment exactly once, in plan order, under the parallel path.
+func TestAdvanceParallelObserverOrder(t *testing.T) {
+	dims := []int{29, 31}
+	field := smoothField(dims)
+	for _, m := range []Method{PMGARDHB, PSZ3Delta} {
+		ref, err := Refactor(field, dims, Options{Method: m, LosslessTail: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		rd, err := NewReader(ref, func(i int, size int64) {
+			got = append(got, i)
+			if size != int64(len(ref.Fragments[i])) {
+				t.Fatalf("fragment %d observed size %d, want %d", i, size, len(ref.Fragments[i]))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd.SetWorkers(8)
+		if _, err := rd.Advance(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		for k, i := range got {
+			if i != k {
+				t.Fatalf("%v: observer saw fragment %d at position %d", m, i, k)
+			}
+		}
+		if len(got) != len(ref.Fragments) {
+			t.Fatalf("%v: observer saw %d fragments, want %d", m, len(got), len(ref.Fragments))
+		}
+	}
+}
+
+// countdownCtx reports cancellation after its Err method has been consulted
+// n times — a deterministic way to cancel mid-pool.
+type countdownCtx struct {
+	context.Context
+	left atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestAdvanceParallelCancelMidPoolResumes(t *testing.T) {
+	dims := []int{33, 35}
+	field := smoothField(dims)
+	for _, m := range []Method{PMGARDHB, PSZ3Delta} {
+		ref, err := Refactor(field, dims, Options{Method: m, LosslessTail: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewReader(ref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq.SetWorkers(1)
+		wantBound, wantBytes, wantBits := advanceLadder(t, seq, []float64{0})
+
+		rd, err := NewReader(ref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd.SetWorkers(4)
+		ctx := &countdownCtx{Context: context.Background()}
+		ctx.left.Store(3) // cancel after a few pool tasks
+		bound, err := rd.Advance(ctx, 0)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: cancelled advance returned %v", m, err)
+		}
+		if math.IsNaN(bound) || bound < wantBound {
+			t.Fatalf("%v: bound after cancel %g below final %g", m, bound, wantBound)
+		}
+		if rd.RetrievedBytes() > wantBytes {
+			t.Fatalf("%v: cancelled advance accounted %d bytes > total %d", m, rd.RetrievedBytes(), wantBytes)
+		}
+		// The committed prefix must leave the reader resumable: finishing the
+		// retrieval yields the exact sequential end state with no double
+		// accounting.
+		bound, werr := rd.Advance(context.Background(), 0)
+		if werr != nil {
+			t.Fatalf("%v: resume: %v", m, werr)
+		}
+		if bound != wantBound {
+			t.Fatalf("%v: resumed bound %g, want %g", m, bound, wantBound)
+		}
+		if rd.RetrievedBytes() != wantBytes {
+			t.Fatalf("%v: resumed retrieved %d, want %d", m, rd.RetrievedBytes(), wantBytes)
+		}
+		data, err := rd.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range data {
+			if math.Float64bits(data[j]) != wantBits[j] {
+				t.Fatalf("%v: resumed point %d differs", m, j)
+			}
+		}
+	}
+}
+
+func TestIngestShortFragmentTypedError(t *testing.T) {
+	dims := []int{21, 23}
+	field := smoothField(dims)
+	for _, workers := range []int{1, 4} {
+		// An emptied fragment payload (the remote layer failed to install it)
+		// must surface as ErrShortFragment, not a panic.
+		ref, err := Refactor(field, dims, Options{Method: PMGARDHB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := NewReader(ref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd.SetWorkers(workers)
+		saved := ref.Fragments[2]
+		ref.Fragments[2] = nil
+		if _, err := rd.Advance(context.Background(), 0); !errors.Is(err, ErrShortFragment) {
+			t.Fatalf("workers=%d: empty fragment returned %v, want ErrShortFragment", workers, err)
+		}
+		// The two committed fragments stay ingested; restoring the payload
+		// resumes cleanly.
+		if rd.RetrievedBytes() != int64(len(ref.Fragments[0])+len(ref.Fragments[1])) {
+			t.Fatalf("workers=%d: committed prefix accounted %d bytes", workers, rd.RetrievedBytes())
+		}
+		ref.Fragments[2] = saved
+		if _, err := rd.Advance(context.Background(), 0); err != nil {
+			t.Fatalf("workers=%d: resume after repair: %v", workers, err)
+		}
+
+		// A cursor raced past the representation must bounds-check, not
+		// panic, and a plan over truncated metadata must clamp.
+		ref2, err := Refactor(field, dims, Options{Method: PMGARDHB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd2, err := NewReader(ref2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd2.SetWorkers(workers)
+		if _, err := rd2.fragment(len(ref2.Fragments)); !errors.Is(err, ErrShortFragment) {
+			t.Fatalf("workers=%d: out-of-range fragment returned %v, want ErrShortFragment", workers, err)
+		}
+		if _, err := rd2.fragment(-1); !errors.Is(err, ErrShortFragment) {
+			t.Fatalf("workers=%d: negative fragment returned %v, want ErrShortFragment", workers, err)
+		}
+		ref2.PrefixBounds = ref2.PrefixBounds[:1] // metadata shorter than fragments
+		if plan := rd2.Plan(0); len(plan) > 1 {
+			t.Fatalf("workers=%d: plan over truncated metadata wants %d fragments", workers, len(plan))
+		}
+		if _, err := rd2.Advance(context.Background(), 0); err != nil {
+			t.Fatalf("workers=%d: clamped advance: %v", workers, err)
+		}
+
+		// A corrupt schedule that skips a plane must fail typed, not decode
+		// garbage.
+		ref3, err := Refactor(field, dims, Options{Method: PMGARDHB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd3, err := NewReader(ref3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd3.SetWorkers(workers)
+		g := ref3.Schedule[1].Group
+		for i := 2; i < len(ref3.Schedule); i++ {
+			if ref3.Schedule[i].Group == g {
+				ref3.Schedule[1] = ref3.Schedule[i] // duplicate a later plane of the same group
+				break
+			}
+		}
+		if _, err := rd3.Advance(context.Background(), 0); !errors.Is(err, ErrShortFragment) {
+			t.Fatalf("workers=%d: skipped plane returned %v, want ErrShortFragment", workers, err)
+		}
+	}
+}

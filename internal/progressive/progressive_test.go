@@ -133,7 +133,7 @@ func TestDeltaCheaperThanPSZ3OnProgressiveSession(t *testing.T) {
 		}
 		rd, _ := NewReader(ref, nil)
 		for i := 1; i <= 8; i++ {
-			if _, err := rd.Advance(context.Background(), 300 * math.Pow(10, -float64(i))); err != nil {
+			if _, err := rd.Advance(context.Background(), 300*math.Pow(10, -float64(i))); err != nil {
 				t.Fatal(err)
 			}
 		}

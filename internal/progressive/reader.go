@@ -2,8 +2,12 @@ package progressive
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"progqoi/internal/bitplane"
 	"progqoi/internal/encoding"
@@ -12,9 +16,17 @@ import (
 	"progqoi/internal/sz"
 )
 
-// FetchFunc observes fragment retrieval: it is invoked once per fragment
-// with its byte size before the fragment is ingested. The network simulator
-// and the byte accounting hook in here. A nil FetchFunc is allowed.
+// ErrShortFragment reports a fragment that is missing, empty, or addressed
+// outside the representation — the failure mode of a plan raced against a
+// mutated Refactored or of a truncated remote payload. It is returned as a
+// typed error instead of letting the ingest path index out of range.
+var ErrShortFragment = errors.New("progressive: short or missing fragment")
+
+// FetchFunc observes fragment retrieval: it is invoked exactly once per
+// successfully ingested fragment with its byte size, serially and in plan
+// order, after the fragment decodes cleanly (a fragment that fails to
+// decode is never reported). The network simulator and the byte accounting
+// hook in here. A nil FetchFunc is allowed.
 type FetchFunc func(fragIndex int, size int64)
 
 // Reader incrementally retrieves a Refactored variable. It implements the
@@ -24,6 +36,10 @@ type FetchFunc func(fragIndex int, size int64)
 type Reader struct {
 	src   *Refactored
 	fetch FetchFunc
+
+	// workers bounds the decode pool used by Advance; 1 selects the plain
+	// sequential path. Parallel and sequential decode are bit-identical.
+	workers int
 
 	nextFrag  int
 	bound     float64
@@ -47,7 +63,7 @@ func NewReader(r *Refactored, fetch FetchFunc) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	rd := &Reader{src: r, fetch: fetch, grd: g, bound: math.Inf(1), dirty: true}
+	rd := &Reader{src: r, fetch: fetch, grd: g, bound: math.Inf(1), dirty: true, workers: runtime.GOMAXPROCS(0)}
 	switch r.Method {
 	case PSZ3, PSZ3Delta:
 		rd.data = make([]float64, g.Size())
@@ -79,6 +95,21 @@ func NewReader(r *Refactored, fetch FetchFunc) (*Reader, error) {
 	return rd, nil
 }
 
+// SetWorkers bounds the fragment-decode worker pool Advance uses. n ≤ 1
+// selects the sequential path; n > 1 decodes independent fragments and
+// bit planes on up to n goroutines with a deterministic merge, so the
+// reconstruction stays bit-identical to the sequential path. The default
+// is GOMAXPROCS.
+func (rd *Reader) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	rd.workers = n
+}
+
+// Workers returns the current decode-pool bound.
+func (rd *Reader) Workers() int { return rd.workers }
+
 // Bound returns the current guaranteed L∞ bound of Data() versus the
 // original field. Before any fragment arrives it is +Inf for snapshot
 // methods and the zero-data bound for PMGARD methods.
@@ -99,19 +130,27 @@ func (rd *Reader) Plan(target float64) []int {
 	if target < 0 || math.IsNaN(target) || rd.bound <= target {
 		return nil
 	}
+	// Never plan past the metadata actually present: a Refactored whose
+	// fragment list and bound/schedule tables disagree (truncated metadata,
+	// concurrent mutation) yields a shorter plan instead of an index panic;
+	// the ingest path then reports the inconsistency as ErrShortFragment.
+	n := len(rd.src.Fragments)
+	if len(rd.src.PrefixBounds) < n {
+		n = len(rd.src.PrefixBounds)
+	}
 	switch rd.src.Method {
 	case PSZ3:
 		// The loosest not-yet-passed snapshot meeting target, or the
 		// tightest available.
 		want := -1
-		for i := rd.nextFrag; i < len(rd.src.Fragments); i++ {
+		for i := rd.nextFrag; i < n; i++ {
 			if rd.src.PrefixBounds[i] <= target {
 				want = i
 				break
 			}
 		}
 		if want < 0 {
-			want = len(rd.src.Fragments) - 1
+			want = n - 1
 		}
 		if want < rd.nextFrag {
 			return nil
@@ -122,7 +161,7 @@ func (rd *Reader) Plan(target float64) []int {
 		// the tracked bound reaches target.
 		var out []int
 		b := rd.bound
-		for i := rd.nextFrag; b > target && i < len(rd.src.Fragments); i++ {
+		for i := rd.nextFrag; b > target && i < n; i++ {
 			out = append(out, i)
 			b = rd.src.PrefixBounds[i]
 		}
@@ -145,22 +184,22 @@ func (rd *Reader) Advance(ctx context.Context, target float64) (float64, error) 
 	if target < 0 || math.IsNaN(target) {
 		return rd.bound, fmt.Errorf("%w: target %g", ErrBadRequest, target)
 	}
-	for _, i := range rd.Plan(target) {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return rd.bound, err
-			}
-		}
-		var err error
+	plan := rd.Plan(target)
+	var err error
+	if rd.workers > 1 && len(plan) > 1 {
 		switch rd.src.Method {
-		case PSZ3, PSZ3Delta:
-			err = rd.ingestSnapshot(i)
+		case PSZ3Delta:
+			err = rd.advanceSnapshotsParallel(ctx, plan)
+		case PMGARD, PMGARDHB:
+			err = rd.advancePlanesParallel(ctx, plan)
 		default:
-			err = rd.ingestPlane(i)
+			err = rd.advanceSequential(ctx, plan)
 		}
-		if err != nil {
-			return rd.bound, err
-		}
+	} else {
+		err = rd.advanceSequential(ctx, plan)
+	}
+	if err != nil {
+		return rd.bound, err
 	}
 	switch rd.src.Method {
 	case PMGARD, PMGARDHB:
@@ -173,85 +212,449 @@ func (rd *Reader) Advance(ctx context.Context, target float64) (float64, error) 
 	return rd.bound, nil
 }
 
-func (rd *Reader) ingest(i int) []byte {
-	f := rd.src.Fragments[i]
-	if rd.fetch != nil {
-		rd.fetch(i, int64(len(f)))
+// advanceSequential ingests the plan one fragment at a time on the calling
+// goroutine — the reference path the parallel paths must match bit for bit.
+func (rd *Reader) advanceSequential(ctx context.Context, plan []int) error {
+	for _, i := range plan {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch rd.src.Method {
+		case PSZ3, PSZ3Delta:
+			err = rd.ingestSnapshot(i)
+		default:
+			err = rd.ingestPlane(i)
+		}
+		if err != nil {
+			return err
+		}
 	}
-	rd.retrieved += int64(len(f))
-	return f
+	return nil
+}
+
+// fragment bounds-checks and returns the payload of fragment i without
+// accounting for it. A plan raced against a mutated Refactored, or a remote
+// layer that failed to install a payload, surfaces here as ErrShortFragment
+// instead of an index panic.
+func (rd *Reader) fragment(i int) ([]byte, error) {
+	if i < 0 || i >= len(rd.src.Fragments) || i >= len(rd.src.PrefixBounds) {
+		return nil, fmt.Errorf("%w: fragment %d of %d", ErrShortFragment, i, len(rd.src.Fragments))
+	}
+	f := rd.src.Fragments[i]
+	if len(f) == 0 {
+		return nil, fmt.Errorf("%w: fragment %d is empty", ErrShortFragment, i)
+	}
+	return f, nil
+}
+
+// account records fragment i as ingested: observer callback, byte counter,
+// cursor. It runs on the reader's goroutine, in plan order, for the
+// sequential and parallel paths alike.
+func (rd *Reader) account(i int, size int) {
+	if rd.fetch != nil {
+		rd.fetch(i, int64(size))
+	}
+	rd.retrieved += int64(size)
+	rd.nextFrag = i + 1
+}
+
+// runPool executes tasks 0..n-1 on at most workers goroutines. A task
+// returning false stops the issue of new tasks; tasks already started run
+// to completion. It returns when every issued task has finished.
+func runPool(workers, n int, task func(int) bool) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if !task(i) {
+				return
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if !task(i) {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// decodedFrag is the stage-1 output of the parallel paths: one fragment's
+// payload decoded off the hot path, plus everything the deterministic
+// commit stage needs to reattach it.
+type decodedFrag struct {
+	frag int
+	err  error
+
+	// PMGARD planes.
+	ref      fragRef
+	planeSec []byte // compressed plane section (reattached to the block)
+	signsSec []byte // compressed signs section (plane 0 only)
+	rawPlane []byte // decompressed plane bitmap
+	rawSigns []byte // decompressed sign bitmap (plane 0 only)
+
+	// Snapshots.
+	vals  []float64
+	bound float64
+}
+
+// truncateOK cuts tasks to the contiguous prefix that decoded successfully,
+// returning the prefix and the error (decode failure or ctx cancellation)
+// that ended it, if any. Committing only that prefix keeps the reader's
+// state exactly what sequential ingestion of the same fragments produces.
+func truncateOK(ctx context.Context, tasks []decodedFrag) ([]decodedFrag, error) {
+	for i := range tasks {
+		if tasks[i].err != nil {
+			return tasks[:i], tasks[i].err
+		}
+		if tasks[i].frag < 0 {
+			// Task never ran: the pool stopped early. A worker that observed
+			// the stop flag may have skipped this slot even though the
+			// failure lives at a later index — surface that real error, not
+			// a generic one, so the caller sees why decoding stopped.
+			for j := i + 1; j < len(tasks); j++ {
+				if tasks[j].err != nil {
+					return tasks[:i], tasks[j].err
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return tasks[:i], err
+			}
+			return tasks[:i], fmt.Errorf("%w: decode pool stopped early", ErrShortFragment)
+		}
+	}
+	return tasks, nil
+}
+
+// advancePlanesParallel is the PMGARD worker-pool path: stage 1 decompresses
+// every planned fragment concurrently (the deflate-dominated cost), stage 2
+// ORs the new bit planes into each group's magnitudes over disjoint
+// coefficient ranges, and the final stage commits accounting in plan order.
+// Because plane application only sets independent bits, any execution order
+// yields magnitudes bit-identical to sequential ingestion.
+func (rd *Reader) advancePlanesParallel(ctx context.Context, plan []int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tasks := make([]decodedFrag, len(plan))
+	for t := range tasks {
+		tasks[t].frag = -1 // marks "not run" for truncateOK
+	}
+	runPool(rd.workers, len(plan), func(t int) bool {
+		if err := ctx.Err(); err != nil {
+			tasks[t] = decodedFrag{frag: plan[t], err: err}
+			return false
+		}
+		tasks[t] = rd.decodePlane(plan[t])
+		return tasks[t].err == nil
+	})
+	ok, ferr := truncateOK(ctx, tasks)
+
+	// Validate plane contiguity BEFORE any decoder mutation: a schedule that
+	// skips a plane poisons everything after it, and the sequential path
+	// rejects such a fragment without touching the decoder — the parallel
+	// path must leave the same state behind.
+	expected := map[int]int{}
+	for i := range ok {
+		g := ok[i].ref.Group
+		if _, seen := expected[g]; !seen {
+			expected[g] = rd.decs[g].Applied()
+		}
+		if p := ok[i].ref.Plane; p > expected[g] {
+			ok = ok[:i]
+			ferr = fmt.Errorf("%w: fragment %d skips to plane %d/%d (have %d)",
+				ErrShortFragment, tasks[i].frag, g, p, expected[g])
+			break
+		} else if p+1 > expected[g] {
+			expected[g] = p + 1
+		}
+	}
+
+	// Stage 2: group the committed planes and OR them into each group's
+	// decoder over disjoint coefficient chunks.
+	type chunk struct {
+		group, lo, hi int
+		planes        []*decodedFrag
+	}
+	byGroup := map[int][]*decodedFrag{}
+	order := []int{}
+	for i := range ok {
+		g := ok[i].ref.Group
+		if byGroup[g] == nil {
+			order = append(order, g)
+		}
+		byGroup[g] = append(byGroup[g], &ok[i])
+	}
+	var chunks []chunk
+	for _, g := range order {
+		n := rd.blocks[g].N
+		size := (n + rd.workers - 1) / rd.workers
+		if size < 2048 {
+			size = 2048
+		}
+		for lo := 0; lo < n; lo += size {
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			chunks = append(chunks, chunk{group: g, lo: lo, hi: hi, planes: byGroup[g]})
+		}
+	}
+	runPool(rd.workers, len(chunks), func(c int) bool {
+		ch := chunks[c]
+		dec := rd.decs[ch.group]
+		for _, p := range ch.planes {
+			dec.OrPlane(p.ref.Plane, p.rawPlane, ch.lo, ch.hi)
+		}
+		return true
+	})
+
+	// Deterministic commit, in plan order: reattach payloads, account bytes,
+	// advance the cursor and bound exactly as the sequential path does.
+	for i := range ok {
+		p := &ok[i]
+		dec := rd.decs[p.ref.Group]
+		blk := rd.blocks[p.ref.Group]
+		if p.signsSec != nil {
+			blk.Signs = p.signsSec
+			dec.SetSigns(p.rawSigns)
+		}
+		blk.Planes[p.ref.Plane] = p.planeSec
+		dec.CommitPlanes(p.ref.Plane + 1)
+		rd.account(p.frag, len(rd.src.Fragments[p.frag]))
+		rd.bound = rd.src.PrefixBounds[p.frag]
+		rd.dirty = true
+	}
+	return ferr
+}
+
+// decodePlane does the per-fragment CPU work of ingestPlane without touching
+// reader state: bounds checks, section parsing, bitmap decompression.
+func (rd *Reader) decodePlane(i int) decodedFrag {
+	out := decodedFrag{frag: i}
+	buf, err := rd.fragment(i)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	if i >= len(rd.src.Schedule) {
+		out.err = fmt.Errorf("%w: fragment %d has no schedule entry", ErrShortFragment, i)
+		return out
+	}
+	ref := rd.src.Schedule[i]
+	if ref.Group < 0 || ref.Group >= len(rd.blocks) || ref.Plane < 0 || ref.Plane >= len(rd.blocks[ref.Group].Planes) {
+		out.err = fmt.Errorf("%w: fragment %d addresses plane %d/%d", ErrShortFragment, i, ref.Group, ref.Plane)
+		return out
+	}
+	out.ref = ref
+	blk := rd.blocks[ref.Group]
+	if ref.Plane == 0 {
+		signs, n, err := encoding.GetSection(buf)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		plane, _, err := encoding.GetSection(buf[n:])
+		if err != nil {
+			out.err = err
+			return out
+		}
+		out.signsSec, out.planeSec = signs, plane
+		if out.rawSigns, err = blk.RawBitmap(signs); err != nil {
+			out.err = fmt.Errorf("bitplane: signs: %w", err)
+			return out
+		}
+	} else {
+		plane, _, err := encoding.GetSection(buf)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		out.planeSec = plane
+	}
+	var err2 error
+	if out.rawPlane, err2 = blk.RawBitmap(out.planeSec); err2 != nil {
+		out.err = fmt.Errorf("bitplane: plane %d: %w", ref.Plane, err2)
+	}
+	return out
+}
+
+// advanceSnapshotsParallel is the PSZ3-Delta pool path: residual snapshots
+// decompress concurrently, then accumulate into the reconstruction in plan
+// order per element chunk — the additions happen in exactly the sequential
+// order for every element, so the float64 sums are bit-identical. The plan
+// is processed in bounded windows so at most ~2×workers decoded full-field
+// buffers are ever held at once (the sequential path holds one).
+func (rd *Reader) advanceSnapshotsParallel(ctx context.Context, plan []int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	window := 2 * rd.workers
+	if window < 2 {
+		window = 2
+	}
+	for start := 0; start < len(plan); start += window {
+		end := start + window
+		if end > len(plan) {
+			end = len(plan)
+		}
+		wplan := plan[start:end]
+		tasks := make([]decodedFrag, len(wplan))
+		for t := range tasks {
+			tasks[t].frag = -1
+		}
+		runPool(rd.workers, len(wplan), func(t int) bool {
+			if err := ctx.Err(); err != nil {
+				tasks[t] = decodedFrag{frag: wplan[t], err: err}
+				return false
+			}
+			tasks[t] = rd.decodeSnapshot(wplan[t])
+			return tasks[t].err == nil
+		})
+		ok, ferr := truncateOK(ctx, tasks)
+
+		if len(ok) > 0 {
+			n := len(rd.data)
+			size := (n + rd.workers - 1) / rd.workers
+			if size < 4096 {
+				size = 4096
+			}
+			nchunks := (n + size - 1) / size
+			runPool(rd.workers, nchunks, func(c int) bool {
+				lo := c * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				for t := range ok {
+					vals := ok[t].vals
+					for j := lo; j < hi; j++ {
+						rd.data[j] += vals[j]
+					}
+				}
+				return true
+			})
+		}
+		for i := range ok {
+			rd.account(ok[i].frag, len(rd.src.Fragments[ok[i].frag]))
+			rd.bound = ok[i].bound
+		}
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// decodeSnapshot does the per-fragment CPU work of ingestSnapshot for the
+// delta method without touching reader state.
+func (rd *Reader) decodeSnapshot(i int) decodedFrag {
+	out := decodedFrag{frag: i}
+	buf, err := rd.fragment(i)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	if rd.src.HasTail && i == len(rd.src.Fragments)-1 {
+		if out.vals, out.err = decodeLossless(buf, rd.grd.Size()); out.err != nil {
+			return out
+		}
+		out.bound = 0
+		return out
+	}
+	dec, g, eb, err := sz.Decompress(buf)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	if !g.Equal(rd.grd) {
+		out.err = fmt.Errorf("%w: snapshot grid %v, want %v", encoding.ErrCorrupt, g.Dims(), rd.grd.Dims())
+		return out
+	}
+	out.vals, out.bound = dec, eb
+	return out
 }
 
 // ingestSnapshot fetches and applies snapshot fragment i. PSZ3 snapshots
 // replace the reconstruction (re-fetching tighter ones later duplicates
 // bytes — PSZ3's inherent redundancy); PSZ3-Delta residuals accumulate.
+// Bytes are accounted only once the fragment decodes cleanly.
 func (rd *Reader) ingestSnapshot(i int) error {
-	buf := rd.ingest(i)
+	buf, err := rd.fragment(i)
+	if err != nil {
+		return err
+	}
 	delta := rd.src.Method == PSZ3Delta
+	var vals []float64
+	bound := 0.0
 	if rd.src.HasTail && i == len(rd.src.Fragments)-1 {
-		vals, err := decodeLossless(buf, rd.grd.Size())
-		if err != nil {
+		if vals, err = decodeLossless(buf, rd.grd.Size()); err != nil {
 			return err
 		}
-		if delta {
-			for j := range rd.data {
-				rd.data[j] += vals[j]
-			}
-		} else {
-			copy(rd.data, vals)
-		}
-		rd.bound = 0
 	} else {
-		dec, g, eb, err := sz.Decompress(buf)
+		var g *grid.Grid
+		vals, g, bound, err = sz.Decompress(buf)
 		if err != nil {
 			return err
 		}
 		if !g.Equal(rd.grd) {
 			return fmt.Errorf("%w: snapshot grid %v, want %v", encoding.ErrCorrupt, g.Dims(), rd.grd.Dims())
 		}
-		if delta {
-			for j := range rd.data {
-				rd.data[j] += dec[j]
-			}
-		} else {
-			copy(rd.data, dec)
-		}
-		rd.bound = eb
 	}
-	rd.nextFrag = i + 1
+	if delta {
+		for j := range rd.data {
+			rd.data[j] += vals[j]
+		}
+	} else {
+		copy(rd.data, vals)
+	}
+	rd.bound = bound
+	rd.account(i, len(buf))
 	return nil
 }
 
 // ingestPlane fetches scheduled plane fragment i and feeds it to its
 // group's bit-plane decoder.
 func (rd *Reader) ingestPlane(i int) error {
-	ref := rd.src.Schedule[i]
-	buf := rd.ingest(i)
-	blk := rd.blocks[ref.Group]
+	p := rd.decodePlane(i)
+	if p.err != nil {
+		return p.err
+	}
+	dec := rd.decs[p.ref.Group]
+	if p.ref.Plane > dec.Applied() {
+		return fmt.Errorf("%w: fragment %d skips to plane %d/%d (have %d)",
+			ErrShortFragment, i, p.ref.Group, p.ref.Plane, dec.Applied())
+	}
+	blk := rd.blocks[p.ref.Group]
 	// Reattach the fragment payload to the metadata block so the decoder
-	// can see it.
-	if ref.Plane == 0 {
-		signs, n, err := encoding.GetSection(buf)
-		if err != nil {
-			return err
-		}
-		plane, _, err := encoding.GetSection(buf[n:])
-		if err != nil {
-			return err
-		}
-		blk.Signs = signs
-		blk.Planes[0] = plane
-	} else {
-		plane, _, err := encoding.GetSection(buf)
-		if err != nil {
-			return err
-		}
-		blk.Planes[ref.Plane] = plane
+	// can see it on later replays.
+	if p.signsSec != nil {
+		blk.Signs = p.signsSec
+		dec.SetSigns(p.rawSigns)
 	}
-	if err := rd.decs[ref.Group].Advance(ref.Plane + 1); err != nil {
-		return err
-	}
-	rd.nextFrag = i + 1
+	blk.Planes[p.ref.Plane] = p.planeSec
+	dec.OrPlane(p.ref.Plane, p.rawPlane, 0, blk.N)
+	dec.CommitPlanes(p.ref.Plane + 1)
+	rd.account(i, len(rd.src.Fragments[i]))
 	rd.bound = rd.src.PrefixBounds[i]
 	rd.dirty = true
 	return nil

@@ -1,0 +1,91 @@
+package progqoi
+
+// parallel_bench_test.go benchmarks the PR 3 worker-pool retrieval engine.
+// BenchmarkAdvanceSequential vs BenchmarkAdvanceParallel isolates the
+// fragment-decode hot path (the CI gate asserts the parallel variant's
+// speedup on multi-core runners); BenchmarkMultiQoIDo measures a mixed-QoI
+// Session.Do end to end at both pool settings.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"progqoi/internal/core"
+	"progqoi/internal/datagen"
+	"progqoi/internal/progressive"
+)
+
+// benchRefactored builds one PMGARD-HB variable big enough for the decode
+// pool to matter.
+func benchRefactored(b *testing.B) *progressive.Refactored {
+	b.Helper()
+	ds := datagen.GE("GE-advance-bench", 64, 512, 11)
+	ref, err := progressive.Refactor(ds.Fields[0], ds.Dims, progressive.Options{Method: progressive.PMGARDHB})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ref
+}
+
+func benchAdvance(b *testing.B, workers int) {
+	ref := benchRefactored(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd, err := progressive.NewReader(ref, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd.SetWorkers(workers)
+		if _, err := rd.Advance(context.Background(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(ref.TotalBytes())
+}
+
+// BenchmarkAdvanceSequential is the single-threaded decode reference.
+func BenchmarkAdvanceSequential(b *testing.B) { benchAdvance(b, 1) }
+
+// BenchmarkAdvanceParallel decodes the same representation with the full
+// worker pool; the CI benchmark gate requires it to beat the sequential
+// reference ≥2x on the 4-core runner.
+func BenchmarkAdvanceParallel(b *testing.B) { benchAdvance(b, runtime.GOMAXPROCS(0)) }
+
+func benchMultiQoIDo(b *testing.B, workers int) {
+	ds := datagen.GE("GE-do-bench", 24, 320, 23)
+	arch, err := Refactor(ds.FieldNames, ds.Fields, ds.Dims)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qois := []QoI{TotalVelocity(0, 1, 2), ds.QoIs[1], ds.QoIs[2]}
+	ranges := QoIRanges(qois, ds.Fields)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := arch.Open(WithSessionConfig(core.Config{Workers: workers}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets := make([]Target, len(qois))
+		for k := range qois {
+			targets[k] = Target{QoI: qois[k], Tolerance: 1e-4, Relative: true, Range: ranges[k]}
+		}
+		res, err := sess.Do(context.Background(), Request{Targets: targets})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ToleranceMet {
+			b.Fatal("tolerance not met")
+		}
+	}
+}
+
+// BenchmarkMultiQoIDo certifies three mixed QoIs in one Do call: the
+// shared fragment plan fetches each fragment once while the targets
+// estimate concurrently.
+func BenchmarkMultiQoIDo(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchMultiQoIDo(b, 1) })
+	b.Run("workers=max", func(b *testing.B) { benchMultiQoIDo(b, runtime.GOMAXPROCS(0)) })
+}

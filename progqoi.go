@@ -184,6 +184,7 @@ type RemoteOption func(*remoteOptions)
 type remoteOptions struct {
 	cacheBytes int64
 	maxRetries int
+	readAhead  int
 	httpClient *http.Client
 }
 
@@ -202,6 +203,17 @@ func WithRetries(n int) RemoteOption {
 // WithHTTPClient overrides the HTTP transport.
 func WithHTTPClient(hc *http.Client) RemoteOption {
 	return func(o *remoteOptions) { o.httpClient = hc }
+}
+
+// WithReadAhead pipelines the wire with the decoder: after each batched
+// fragment fetch, up to n further fragments per variable — the ones a
+// tightening iteration would request next — are fetched in the background
+// into the shared cache while the session's worker pool decodes the batch
+// it already has (default 0 = off). Speculative fragments count toward
+// RemoteStats.WireBytes even when a retrieval certifies before needing
+// them, so the wire total can exceed a session's RetrievedBytes.
+func WithReadAhead(n int) RemoteOption {
+	return func(o *remoteOptions) { o.readAhead = n }
 }
 
 // RemoteStats snapshots a remote archive's wire accounting: fragment
@@ -226,6 +238,7 @@ func OpenRemote(ctx context.Context, baseURL, dataset string, opts ...RemoteOpti
 	rem, err := client.Open(ctx, baseURL, dataset, client.Options{
 		CacheBytes: ro.cacheBytes,
 		MaxRetries: ro.maxRetries,
+		ReadAhead:  ro.readAhead,
 		HTTPClient: ro.httpClient,
 	})
 	if err != nil {
@@ -250,6 +263,16 @@ func (a *Archive) RemoteStats() RemoteStats {
 		return RemoteStats{}
 	}
 	return a.remote.Client().Stats()
+}
+
+// WaitReadAhead blocks until every background read-ahead fetch launched by
+// WithReadAhead sessions has finished — for orderly shutdown or stable
+// stats snapshots; retrieval itself never waits on speculation. No-op for
+// local archives.
+func (a *Archive) WaitReadAhead() {
+	if a.remote != nil {
+		a.remote.WaitReadAhead()
+	}
 }
 
 // Refactor transforms fields (row-major on dims, one slice per field) into
@@ -326,6 +349,16 @@ func WithFetchObserver(fetch FetchObserver) OpenOption {
 // factor, iteration cap, worker count, estimator ablations).
 func WithSessionConfig(cfg SessionConfig) OpenOption {
 	return func(o *openOptions) { o.cfg = cfg }
+}
+
+// WithWorkers bounds the session's retrieval compute pool: fragment decode
+// inside each reader, the concurrent per-variable advance, and per-target
+// error estimation all share the bound. n = 1 selects the fully sequential
+// path; the default (0) is GOMAXPROCS. Parallel retrieval is
+// deterministic — the reconstruction and every certified estimate are
+// bit-identical to the sequential path.
+func WithWorkers(n int) OpenOption {
+	return func(o *openOptions) { o.cfg.Workers = n }
 }
 
 // Session is an incremental QoI-preserving retrieval session: a stateful
