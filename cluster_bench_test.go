@@ -1,0 +1,85 @@
+package progqoi
+
+// cluster_bench_test.go measures the sharded fetch path the cluster
+// transport added: the same full-archive fragment fetch against one node
+// and against a 3-node cluster (concurrent per-shard sub-batches). The CI
+// bench job gates both against BENCH_pr4_baseline.json — the cluster
+// variant is where a regression in shard grouping or sub-batch fan-out
+// would show first.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"progqoi/internal/client"
+	"progqoi/internal/datagen"
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
+)
+
+var shardBench struct {
+	once  sync.Once
+	st    *storage.MemStore
+	wants map[string][]int
+	total int64
+}
+
+func shardBenchSetup(b *testing.B) {
+	shardBench.once.Do(func() {
+		ds := datagen.GE("GE-shard-bench", 4, 160, 5)
+		arch, err := Refactor(ds.FieldNames, ds.Fields, ds.Dims)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := storage.NewMemStore()
+		if err := storage.WriteArchive(st, "ge", arch.Variables()); err != nil {
+			b.Fatal(err)
+		}
+		wants := map[string][]int{}
+		var total int64
+		for _, v := range arch.Variables() {
+			for fi, f := range v.Ref.Fragments {
+				wants[v.Name] = append(wants[v.Name], fi)
+				total += int64(len(f))
+			}
+		}
+		shardBench.st, shardBench.wants, shardBench.total = st, wants, total
+	})
+}
+
+func benchShardFetch(b *testing.B, nodes int) {
+	shardBenchSetup(b)
+	urls := make([]string, nodes)
+	for i := range urls {
+		srv, err := server.New(shardBench.st, server.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs := httptest.NewServer(srv)
+		defer hs.Close()
+		urls[i] = hs.URL
+	}
+	b.SetBytes(shardBench.total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh client per iteration keeps the fragment cache cold so
+		// every byte crosses the wire; the LRU itself stays enabled to
+		// exercise the real install path.
+		c, err := client.New(urls[0], client.Options{Endpoints: urls[1:]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := c.Fragments(context.Background(), "ge", shardBench.wants)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(shardBench.wants) {
+			b.Fatalf("%d variables fetched, want %d", len(got), len(shardBench.wants))
+		}
+	}
+}
+
+func BenchmarkShardFetchSingle(b *testing.B)   { benchShardFetch(b, 1) }
+func BenchmarkShardFetchCluster3(b *testing.B) { benchShardFetch(b, 3) }

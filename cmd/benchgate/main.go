@@ -2,14 +2,16 @@
 // benchmark output, compares the median ns/op of each benchmark against a
 // committed JSON baseline, and exits non-zero when any gated benchmark
 // regressed past the threshold — or when a required parallel speedup is
-// not met. It also converts between the JSON baseline format and the raw
+// not met, or when a -require'd benchmark is missing from the current
+// run. It also converts between the JSON baseline format and the raw
 // text benchstat consumes, so the CI job can render a human-readable
 // benchstat table next to the machine-checked gate.
 //
 // Usage:
 //
-//	benchgate -current bench.txt -baseline BENCH_pr3_baseline.json \
-//	          -threshold 0.10 -match 'Advance|Do' -out BENCH_pr.json \
+//	benchgate -current bench.txt -baseline BENCH_pr4_baseline.json \
+//	          -threshold 0.10 -match 'Advance|Do|ShardFetch' -out BENCH_pr.json \
+//	          -require 'ShardFetchSingle,ShardFetchCluster3' \
 //	          -export-baseline bench_baseline.txt
 //	benchgate -current bench.txt -speedup 'BenchmarkAdvanceSequential/BenchmarkAdvanceParallel>=2.0'
 package main
@@ -110,6 +112,36 @@ func readLines(path string) ([]string, error) {
 
 var speedupRe = regexp.MustCompile(`^(Benchmark\S+)/(Benchmark\S+)>=([0-9.]+)$`)
 
+// missingRequired checks a comma-separated list of regexps against the
+// current benchmark names and returns the patterns matching none of them.
+// CI uses it to fail loudly when a gated benchmark silently stops running
+// (renamed, moved packages, filtered out by the bench pattern) — the
+// regression gate would otherwise just skip it forever.
+func missingRequired(cur map[string][]float64, spec string) ([]string, error) {
+	var missing []string
+	for _, pat := range strings.Split(spec, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("bad -require pattern %q: %w", pat, err)
+		}
+		found := false
+		for name := range cur {
+			if re.MatchString(name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, pat)
+		}
+	}
+	return missing, nil
+}
+
 func main() {
 	var (
 		current    = flag.String("current", "", "current benchmark output (text)")
@@ -120,6 +152,7 @@ func main() {
 		exportBase = flag.String("export-baseline", "", "write the baseline's lines, name-normalized, to this file (for benchstat)")
 		exportCur  = flag.String("export-current", "", "write the current lines, name-normalized, to this file (for benchstat)")
 		speedup    = flag.String("speedup", "", "required ratio, e.g. 'BenchmarkA/BenchmarkB>=2.0' (median A / median B)")
+		require    = flag.String("require", "", "comma-separated regexps; each must match at least one current benchmark")
 		benchtime  = flag.String("benchtime", "", "benchtime the current run used (recorded in -out, checked vs baseline)")
 		countFlag  = flag.Int("count", 0, "count the current run used (recorded in -out)")
 		noteFlag   = flag.String("note", "", "provenance note recorded in -out")
@@ -138,6 +171,17 @@ func main() {
 	}
 
 	failed := false
+
+	if *require != "" {
+		missing, err := missingRequired(cur, *require)
+		if err != nil {
+			fatal("benchgate: %v", err)
+		}
+		for _, pat := range missing {
+			fmt.Printf("REQUIRE %-52s no current benchmark matches\n", pat)
+			failed = true
+		}
+	}
 
 	if *exportCur != "" {
 		if err := writeBenchText(*exportCur, curLines); err != nil {

@@ -70,3 +70,29 @@ func TestSpeedupExpr(t *testing.T) {
 		t.Fatalf("speedup expr parse: %v", m)
 	}
 }
+
+func TestMissingRequired(t *testing.T) {
+	cur := map[string][]float64{
+		"BenchmarkShardFetchSingle":   {1},
+		"BenchmarkShardFetchCluster3": {1},
+		"BenchmarkAdvanceParallel":    {1},
+	}
+	missing, err := missingRequired(cur, "ShardFetch,Advance")
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("missing = %v, err = %v", missing, err)
+	}
+	missing, err = missingRequired(cur, "ShardFetch, ^BenchmarkMultiQoIDo$ ,Nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 2 || missing[0] != "^BenchmarkMultiQoIDo$" || missing[1] != "Nope" {
+		t.Fatalf("missing = %v", missing)
+	}
+	if _, err := missingRequired(cur, "(["); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+	// Empty elements (stray commas) are ignored, not failed.
+	if missing, err := missingRequired(cur, ",Advance,"); err != nil || len(missing) != 0 {
+		t.Fatalf("missing = %v, err = %v", missing, err)
+	}
+}

@@ -5,6 +5,20 @@
 //
 //	progqoid -dir ./archives -addr :9123
 //
+// A static cluster is several progqoid nodes serving the same archive
+// directory; each node is told the full topology so clients can discover
+// it from any member:
+//
+//	progqoid -dir ./archives -addr :9123 \
+//	    -advertise http://node0:9123 \
+//	    -peers http://node1:9123,http://node2:9123
+//
+// Sharding, replication and failover are client-side concerns (see
+// progqoi.WithEndpoints); the daemon only reports the topology at
+// /v1/cluster and serves its share of the traffic. -cache bounds the
+// in-memory hot-fragment cache in front of the directory; /metrics
+// exposes serving counters in Prometheus text format.
+//
 // Routes, formats and caching behaviour are documented in
 // progqoi/internal/server. Stop with SIGINT/SIGTERM; in-flight requests
 // drain before exit.
@@ -17,8 +31,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,29 +49,73 @@ func main() {
 	}
 }
 
+// parsePeers validates a comma-separated list of absolute http(s) base
+// URLs; empty elements are rejected so a stray comma fails loudly.
+func parsePeers(list string) ([]string, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("peer %q is not an absolute http(s) URL", p)
+		}
+		out = append(out, strings.TrimRight(p, "/"))
+	}
+	return out, nil
+}
+
 // newServer builds the HTTP handler for one archive directory; split from
 // run so tests can drive it without a listener.
 func newServer(dir string, limit int, logRequests bool) (*server.Server, error) {
+	return newClusterServer(dir, limit, 0, "", nil, logRequests)
+}
+
+func newClusterServer(dir string, limit int, cacheBytes int64, advertise string, peers []string, logRequests bool) (*server.Server, error) {
 	st, err := storage.NewDirStore(dir)
 	if err != nil {
 		return nil, err
 	}
-	return server.New(st, server.Options{MaxInflight: limit, LogRequests: logRequests})
+	return server.New(st, server.Options{
+		MaxInflight:   limit,
+		HotCacheBytes: cacheBytes,
+		Advertise:     advertise,
+		Peers:         peers,
+		LogRequests:   logRequests,
+	})
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("progqoid", flag.ExitOnError)
+	fs := flag.NewFlagSet("progqoid", flag.ContinueOnError)
 	addr := fs.String("addr", ":9123", "listen address")
 	dir := fs.String("dir", "", "archive directory to serve (required)")
 	limit := fs.Int("limit", server.DefaultMaxInflight, "max concurrent requests")
+	cache := fs.Int64("cache", server.DefaultHotCacheBytes, "hot-fragment cache bound in bytes (negative disables)")
+	advertise := fs.String("advertise", "", "this node's public base URL, reported at /v1/cluster")
+	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster nodes, reported at /v1/cluster")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h printed usage; that is success, not a startup failure.
+			return nil
+		}
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
-	srv, err := newServer(*dir, *limit, *verbose)
+	peerURLs, err := parsePeers(*peers)
+	if err != nil {
+		return fmt.Errorf("-peers: %w", err)
+	}
+	if *advertise != "" {
+		if _, err := parsePeers(*advertise); err != nil {
+			return fmt.Errorf("-advertise: %w", err)
+		}
+	}
+	srv, err := newClusterServer(*dir, *limit, *cache, *advertise, peerURLs, *verbose)
 	if err != nil {
 		return err
 	}
@@ -63,8 +123,8 @@ func run(args []string) error {
 	if len(names) == 0 {
 		log.Printf("progqoid: warning: no datasets (no *.manifest keys) under %s", *dir)
 	}
-	log.Printf("progqoid: serving %d dataset(s) %v from %s on %s (limit %d)",
-		len(names), names, *dir, *addr, *limit)
+	log.Printf("progqoid: serving %d dataset(s) %v from %s on %s (limit %d, %d peer(s))",
+		len(names), names, *dir, *addr, *limit, len(peerURLs))
 
 	// ReadHeaderTimeout keeps a slow-loris peer from pinning a connection
 	// forever; fragment bodies themselves are never read by the server.

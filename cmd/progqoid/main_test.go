@@ -3,10 +3,14 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"progqoi/internal/core"
 	"progqoi/internal/datagen"
@@ -69,5 +73,126 @@ func TestNewServerServesDirectory(t *testing.T) {
 func TestRunRequiresDir(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Fatal("missing -dir accepted")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("http://a:1,https://b:2/, http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "https://b:2", "http://c:3"}
+	if len(got) != 3 {
+		t.Fatalf("peers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peers[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if p, err := parsePeers(""); err != nil || p != nil {
+		t.Fatalf("empty list: %v %v", p, err)
+	}
+	for _, bad := range []string{"not-a-url", "ftp://x:1", "http://a:1,,http://b:2", "http://a:1,"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Fatalf("malformed peers %q accepted", bad)
+		}
+	}
+}
+
+func TestClusterFlagsReachClusterEndpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	writeArchiveDir(t, dir)
+	srv, err := newClusterServer(dir, 8, 0, "http://me:9123", []string{"http://peer:9123"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var info server.ClusterInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Advertise != "http://me:9123" || len(info.Peers) != 1 || info.Peers[0] != "http://peer:9123" {
+		t.Fatalf("cluster info = %+v", info)
+	}
+}
+
+// runErr drives run in a goroutine and returns its error, failing the
+// test if the daemon neither errors nor keeps serving as expected.
+func runErr(t *testing.T, wantErr bool, args ...string) error {
+	t.Helper()
+	errc := make(chan error, 1)
+	go func() { errc <- run(args) }()
+	select {
+	case err := <-errc:
+		if wantErr && err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatalf("run(%v) did not return", args)
+		return nil
+	}
+}
+
+func TestRunStartupErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	writeArchiveDir(t, dir)
+
+	t.Run("missing dir flag", func(t *testing.T) {
+		runErr(t, true)
+	})
+	t.Run("unknown flag", func(t *testing.T) {
+		runErr(t, true, "-no-such-flag")
+	})
+	t.Run("dir is a file", func(t *testing.T) {
+		f := filepath.Join(t.TempDir(), "plain")
+		if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		runErr(t, true, "-dir", f)
+	})
+	t.Run("malformed peers", func(t *testing.T) {
+		err := runErr(t, true, "-dir", dir, "-peers", "not-a-url")
+		if err == nil || !strings.Contains(err.Error(), "-peers") {
+			t.Fatalf("error %v does not name -peers", err)
+		}
+	})
+	t.Run("malformed advertise", func(t *testing.T) {
+		err := runErr(t, true, "-dir", dir, "-advertise", "nope")
+		if err == nil || !strings.Contains(err.Error(), "-advertise") {
+			t.Fatalf("error %v does not name -advertise", err)
+		}
+	})
+	t.Run("busy port", func(t *testing.T) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		err = runErr(t, true, "-dir", dir, "-addr", ln.Addr().String())
+		if err == nil || !strings.Contains(strings.ToLower(err.Error()), "address already in use") {
+			t.Fatalf("busy port error = %v", err)
+		}
+	})
+	t.Run("corrupt archive dir", func(t *testing.T) {
+		bad := t.TempDir()
+		if err := os.WriteFile(filepath.Join(bad, "ds.manifest"), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		runErr(t, true, "-dir", bad)
+	})
+}
+
+func TestHelpFlagIsNotAnError(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
 	}
 }

@@ -13,6 +13,11 @@
 // not deducted) — identical on the first pass, and smaller for the real
 // client afterwards because its fragment cache makes repeated requests
 // free.
+//
+// With -url self -nodes 3 the blocks are served by a 3-node in-process
+// cluster instead of one server: fragment fetches shard across the nodes
+// by rendezvous hashing (progqoi.WithEndpoints) and the retrieval results
+// stay bit-identical — the sharded wire bytes appear in the same column.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 func main() {
 	urlFlag := flag.String("url", "", `also retrieve over a real fragment server: "self" serves in-process, otherwise a progqoid base URL hosting block0..blockN datasets`)
 	readAhead := flag.Int("readahead", 0, "remote read-ahead pipeline depth (fragments per variable fetched while decoding; 0 = off)")
+	nodes := flag.Int("nodes", 1, `with -url self: serve the blocks from this many cluster nodes and shard fetches across them`)
 	flag.Parse()
 
 	const workers = 16
@@ -61,19 +67,20 @@ func main() {
 	// Optionally stand up / connect to the real server.
 	var remotes []*progqoi.Archive
 	if *urlFlag != "" {
-		base := *urlFlag
-		if base == "self" {
+		bases := []string{*urlFlag}
+		if *urlFlag == "self" {
 			var err error
-			base, err = serveSelf(archives)
+			bases, err = serveSelf(archives, max(*nodes, 1))
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("serving %d block datasets in-process at %s\n", workers, base)
+			fmt.Printf("serving %d block datasets in-process from %d node(s) at %v\n", workers, len(bases), bases)
 		}
 		remotes = make([]*progqoi.Archive, workers)
 		for b := 0; b < workers; b++ {
-			arch, err := progqoi.OpenRemote(context.Background(), base, fmt.Sprintf("block%d", b),
-				progqoi.WithReadAhead(*readAhead))
+			arch, err := progqoi.OpenRemote(context.Background(), bases[0], fmt.Sprintf("block%d", b),
+				progqoi.WithReadAhead(*readAhead),
+				progqoi.WithEndpoints(bases[1:]...))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -145,27 +152,33 @@ func retrieveBlock(sess *progqoi.Session, vtot progqoi.QoI, rel float64, fields 
 	return err
 }
 
-// serveSelf writes every block archive into a MemStore, serves it with the
-// real fragment service on a loopback port, and returns the base URL.
-func serveSelf(archives []*progqoi.Archive) (string, error) {
+// serveSelf writes every block archive into a MemStore and serves it with
+// the real fragment service from n loopback nodes (one store, n servers —
+// the same shape as n progqoid daemons over one archive directory),
+// returning the base URLs.
+func serveSelf(archives []*progqoi.Archive, n int) ([]string, error) {
 	st := storage.NewMemStore()
 	for b, arch := range archives {
 		if err := storage.WriteArchive(st, fmt.Sprintf("block%d", b), arch.Variables()); err != nil {
-			return "", err
+			return nil, err
 		}
 	}
-	srv, err := server.New(st, server.Options{})
-	if err != nil {
-		return "", err
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", err
-	}
-	go func() {
-		if err := http.Serve(ln, srv); err != nil && !strings.Contains(err.Error(), "use of closed") {
-			log.Print(err)
+	bases := make([]string, n)
+	for i := range bases {
+		srv, err := server.New(st, server.Options{})
+		if err != nil {
+			return nil, err
 		}
-	}()
-	return "http://" + ln.Addr().String(), nil
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go func() {
+			if err := http.Serve(ln, srv); err != nil && !strings.Contains(err.Error(), "use of closed") {
+				log.Print(err)
+			}
+		}()
+		bases[i] = "http://" + ln.Addr().String()
+	}
+	return bases, nil
 }

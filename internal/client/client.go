@@ -18,8 +18,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,7 +41,10 @@ type Options struct {
 	// fragments survive slow links).
 	HTTPClient *http.Client
 	// MaxRetries is the number of re-attempts after a transport error,
-	// truncated body, or 5xx (default 3; negative disables retries).
+	// truncated body, or 5xx (default 3; negative disables retries). On a
+	// cluster it bounds extra passes over the endpoints: failing over to
+	// another replica is free, and backoff applies only once every
+	// candidate has failed the current pass.
 	MaxRetries int
 	// RetryBackoff is the first retry delay, doubled per attempt
 	// (default 50 ms).
@@ -57,6 +60,25 @@ type Options struct {
 	// toward WireBytes even if never ingested, so on workloads that stop
 	// early the wire total can exceed a session's RetrievedBytes.
 	ReadAhead int
+	// Endpoints are additional base URLs of cluster nodes serving the
+	// same archives as the primary base URL; fragment fetches shard over
+	// all of them by rendezvous hashing and fail over between them. See
+	// the cluster transport notes in cluster.go.
+	Endpoints []string
+	// Replication is the replica-set size per shard key: the number of
+	// rendezvous-preferred endpoints a fragment fetch tries before
+	// spilling to the rest of the cluster (default DefaultReplication,
+	// clamped to the endpoint count).
+	Replication int
+	// BreakerCooldown is how long an endpoint's circuit stays open after
+	// breakerThreshold consecutive failures before a half-open probe
+	// (default DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// DiscoverPeers asks Open to fetch /v1/cluster from the primary
+	// endpoint and merge the advertised peers into Endpoints, so a client
+	// pointed at one node of a static cluster finds the rest. Discovery
+	// is best-effort: nodes without the route are treated as solo.
+	DiscoverPeers bool
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +103,12 @@ func (o Options) withDefaults() Options {
 	} else if o.CacheBytes < 0 {
 		o.CacheBytes = 0
 	}
+	if o.Replication <= 0 {
+		o.Replication = DefaultReplication
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
 	return o
 }
 
@@ -104,10 +132,17 @@ type Stats struct {
 	// Speculated counts fragments requested by the read-ahead pipeline
 	// (Options.ReadAhead) rather than by a session's current plan.
 	Speculated int64
+	// Failovers counts fetches served by an endpoint other than their
+	// shard's rendezvous primary — each one is a request a healthy
+	// single-node path would have lost.
+	Failovers int64
 	// CacheBytes / CacheEntries / CacheEvictions describe the LRU.
 	CacheBytes     int64
 	CacheEntries   int
 	CacheEvictions int64
+	// Endpoints reports per-node traffic and circuit-breaker state, in
+	// the order the endpoints were configured.
+	Endpoints []EndpointStats
 }
 
 // call is one in-flight fragment fetch that coalesced waiters block on.
@@ -117,10 +152,13 @@ type call struct {
 	err  error
 }
 
-// Client talks to one fragment service. It is safe for concurrent use and
-// meant to be shared: the cache and coalescing work across sessions.
+// Client talks to one fragment service — or a cluster of them serving the
+// same archives. It is safe for concurrent use and meant to be shared:
+// the cache and coalescing work across sessions, and the per-endpoint
+// breaker state is what routes every session around a dead node.
 type Client struct {
-	base  string
+	eps   []*endpoint // configured order; rendezvous order is per key
+	repl  int         // replica-set size, clamped to len(eps)
 	hc    *http.Client
 	opts  Options
 	cache *lruCache
@@ -137,17 +175,33 @@ type Client struct {
 	cacheHits    atomic.Int64
 	coalesced    atomic.Int64
 	speculated   atomic.Int64
+	failovers    atomic.Int64
 }
 
-// New returns a client for the service at baseURL (e.g. "http://host:9123").
+// New returns a client for the service at baseURL (e.g.
+// "http://host:9123") plus any extra cluster endpoints in opt.Endpoints.
 func New(baseURL string, opt Options) (*Client, error) {
-	base := strings.TrimRight(baseURL, "/")
-	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
-		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
-	}
 	opt = opt.withDefaults()
+	var eps []*endpoint
+	seen := map[string]bool{}
+	for _, u := range append([]string{baseURL}, opt.Endpoints...) {
+		base := strings.TrimRight(u, "/")
+		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+			return nil, fmt.Errorf("client: base URL %q must be http(s)", u)
+		}
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		eps = append(eps, &endpoint{base: base, hash: fnv64(base)})
+	}
+	repl := opt.Replication
+	if repl > len(eps) {
+		repl = len(eps)
+	}
 	return &Client{
-		base:     base,
+		eps:      eps,
+		repl:     repl,
 		hc:       opt.HTTPClient,
 		opts:     opt,
 		cache:    newLRUCache(opt.CacheBytes),
@@ -156,20 +210,34 @@ func New(baseURL string, opt Options) (*Client, error) {
 	}, nil
 }
 
+// Endpoints returns the configured endpoint base URLs.
+func (c *Client) Endpoints() []string {
+	out := make([]string, len(c.eps))
+	for i, ep := range c.eps {
+		out[i] = ep.base
+	}
+	return out
+}
+
 // Stats snapshots the wire accounting.
 func (c *Client) Stats() Stats {
 	cb, ce, ev := c.cache.stats()
-	return Stats{
+	st := Stats{
 		WireBytes:        c.wireBytes.Load(),
 		WireRequests:     c.wireRequests.Load(),
 		FragmentsFetched: c.fragsFetched.Load(),
 		CacheHits:        c.cacheHits.Load(),
 		Coalesced:        c.coalesced.Load(),
 		Speculated:       c.speculated.Load(),
+		Failovers:        c.failovers.Load(),
 		CacheBytes:       cb,
 		CacheEntries:     ce,
 		CacheEvictions:   ev,
 	}
+	for _, ep := range c.eps {
+		st.Endpoints = append(st.Endpoints, ep.snapshot())
+	}
+	return st
 }
 
 // HTTPError reports a non-retryable HTTP failure status.
@@ -183,68 +251,16 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("http %d: %s", e.Status, strings.TrimSpace(e.Msg))
 }
 
-// do issues one request with bounded retry/backoff. Transport errors,
-// truncated bodies, and 5xx responses retry; other non-200 statuses fail
-// immediately with *HTTPError. ctx cancels the in-flight request and any
-// backoff wait: once ctx is done no further attempts are made and the
-// context's error is returned.
+// do issues one request with bounded retry/backoff and replica failover.
+// Transport errors, truncated bodies, and 5xx responses fail over to the
+// next endpoint and retry; other non-200 statuses fail immediately with
+// *HTTPError. Non-fragment routes hash by path, so metadata traffic also
+// spreads over the cluster deterministically. ctx cancels the in-flight
+// request and any backoff wait: once ctx is done no further attempts are
+// made and the context's error is returned.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	var lastErr error
-	backoff := c.opts.RetryBackoff
-	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
-		if attempt > 0 {
-			t := time.NewTimer(backoff)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
-			case <-t.C:
-			}
-			backoff *= 2
-		}
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
-		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-		if err != nil {
-			return nil, err
-		}
-		if contentType != "" {
-			req.Header.Set("Content-Type", contentType)
-		}
-		c.wireRequests.Add(1)
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			if ctx.Err() != nil {
-				// The caller walked away; surface its reason, not the
-				// transport's wrapping of the aborted socket.
-				return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
-			}
-			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
-			continue
-		}
-		data, rerr := io.ReadAll(resp.Body)
-		resp.Body.Close() //nolint:errcheck
-		switch {
-		case resp.StatusCode >= 500:
-			lastErr = fmt.Errorf("client: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(data)))
-			continue
-		case resp.StatusCode != http.StatusOK:
-			return nil, fmt.Errorf("client: %s %s: %w", method, path, &HTTPError{Status: resp.StatusCode, Msg: string(data)})
-		case rerr != nil:
-			if ctx.Err() != nil {
-				return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
-			}
-			lastErr = fmt.Errorf("client: %s %s: truncated body: %w", method, path, rerr)
-			continue
-		}
-		return data, nil
-	}
-	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.opts.MaxRetries+1, lastErr)
+	order := c.candidates(path)
+	return c.doOrder(ctx, order, len(order), method, path, body, contentType)
 }
 
 // Health fetches the service's /healthz stats.
@@ -317,14 +333,18 @@ func fragKey(dataset, vr string, fi int) string {
 }
 
 // Fragment fetches a single fragment through the cache via the
-// single-fragment GET endpoint.
+// single-fragment GET endpoint, routed to the fragment's shard.
 func (c *Client) Fragment(ctx context.Context, dataset, vr string, fi int) ([]byte, error) {
 	key := fragKey(dataset, vr, fi)
 	if v, ok := c.cache.get(key); ok {
 		c.cacheHits.Add(1)
 		return v, nil
 	}
-	b, err := c.do(ctx, "GET", "/v1/d/"+dataset+"/frag/"+vr+"/"+strconv.Itoa(fi), nil, "")
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	path := "/v1/d/" + dataset + "/frag/" + vr + "/" + strconv.Itoa(fi)
+	b, err := c.doOrder(ctx, c.candidates(shardKey(vr, fi)), c.repl, "GET", path, nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -340,11 +360,21 @@ func (c *Client) Fragment(ctx context.Context, dataset, vr string, fi int) ([]by
 	return b, nil
 }
 
-// Fragments fetches a set of fragments in at most one HTTP round trip:
-// cached fragments are returned directly, fragments already being fetched
-// by a concurrent session are awaited, and the rest travel in a single
-// batched POST. The result maps variable name → fragment index → payload.
+// Fragments fetches a set of fragments in at most one HTTP round trip per
+// shard: cached fragments are returned directly, fragments already being
+// fetched by a concurrent session are awaited, and the rest split into
+// per-shard sub-batches issued concurrently (one batched POST per cluster
+// node involved). The result maps variable name → fragment index →
+// payload.
 func (c *Client) Fragments(ctx context.Context, dataset string, wants map[string][]int) (map[string]map[int][]byte, error) {
+	return c.FragmentsWorkers(ctx, dataset, wants, 0)
+}
+
+// FragmentsWorkers is Fragments with an explicit bound on concurrent
+// per-shard sub-batches (workers <= 0 means GOMAXPROCS). Remote sessions
+// pass their retrieval Workers budget here so the wire fan-out never
+// exceeds the compute fan-out.
+func (c *Client) FragmentsWorkers(ctx context.Context, dataset string, wants map[string][]int, workers int) (map[string]map[int][]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -395,24 +425,14 @@ func (c *Client) Fragments(ctx context.Context, dataset string, wants map[string
 	c.mu.Unlock()
 
 	if len(owned) > 0 {
-		req := server.BatchRequest{}
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		byVar := map[string][]int{}
 		for _, p := range owned {
 			byVar[p.vr] = append(byVar[p.vr], p.fi)
 		}
-		for _, vr := range sortedKeys(byVar) {
-			req.Wants = append(req.Wants, server.BatchWant{Var: vr, Indices: byVar[vr]})
-		}
-		body, _ := json.Marshal(req)
-		blob, ferr := c.do(ctx, "POST", "/v1/d/"+dataset+"/frags", body, "application/json")
-		got := map[string][]byte{}
-		if ferr == nil {
-			var frags []server.BatchFragment
-			frags, ferr = server.DecodeBatch(blob)
-			for _, f := range frags {
-				got[fragKey(dataset, f.Var, f.Index)] = f.Payload
-			}
-		}
+		got, ferr := c.fetchShards(ctx, dataset, byVar, workers)
 		if ferr == nil {
 			for _, p := range owned {
 				payload, ok := got[p.key]

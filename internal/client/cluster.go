@@ -1,0 +1,494 @@
+package client
+
+// Cluster transport: a Client may hold several endpoints serving the same
+// archives (a progqoid cluster). Every request routes deterministically by
+// rendezvous hashing — fragment fetches by (variable, fragment id), other
+// routes by path — so each node's hot cache sees a stable shard of the
+// key space. The top Replication endpoints of a key's rendezvous order are
+// its replica set: the primary serves in the steady state, and connection
+// errors, truncated bodies or 5xx responses fail the request over to the
+// next replica immediately, spilling past the replica set only when every
+// replica is unavailable. A per-endpoint circuit breaker (open after
+// breakerThreshold consecutive failures, half-open probe after
+// BreakerCooldown) keeps a dead node from eating a connection timeout on
+// every request; its state is surfaced in Stats.Endpoints.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"progqoi/internal/server"
+)
+
+// breakerThreshold is how many consecutive endpoint-health failures open
+// the circuit.
+const breakerThreshold = 3
+
+// DefaultBreakerCooldown is how long an open circuit rejects an endpoint
+// before a half-open probe, when Options.BreakerCooldown is zero.
+const DefaultBreakerCooldown = time.Second
+
+// DefaultReplication is the replica-set size when Options.Replication is
+// zero: primary plus one failover candidate per shard.
+const DefaultReplication = 2
+
+type breakerState int
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "probing"
+	default:
+		return "ok"
+	}
+}
+
+// endpoint is one cluster node with its circuit-breaker state and traffic
+// counters.
+type endpoint struct {
+	base string
+	hash uint64 // fnv64(base), precomputed for rendezvous scoring
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int // consecutive
+	openUntil time.Time
+
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// admit reports whether the breaker lets a request through right now. An
+// open circuit whose cooldown expired flips to half-open and admits
+// exactly one probe; the probe's outcome decides what happens next.
+func (e *endpoint) admit(now time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.state {
+	case bkClosed:
+		return true
+	case bkOpen:
+		if now.Before(e.openUntil) {
+			return false
+		}
+		e.state = bkHalfOpen
+		return true
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// abortProbe releases the half-open probe slot when a probe ends without
+// a verdict (the caller's context died mid-request). The circuit returns
+// to open with its already-expired cooldown, so the next admit starts a
+// fresh probe immediately — without this, a cancelled probe would pin the
+// endpoint in half-open forever and demote it out of every replica set.
+func (e *endpoint) abortProbe() {
+	e.mu.Lock()
+	if e.state == bkHalfOpen {
+		e.state = bkOpen
+	}
+	e.mu.Unlock()
+}
+
+// report records a request outcome. Only endpoint-health failures
+// (connection errors, truncated bodies, 5xx) count toward the breaker;
+// any answered request — even a 404 — proves the node alive.
+func (e *endpoint) report(ok bool, cooldown time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ok {
+		e.state, e.failures = bkClosed, 0
+		return
+	}
+	e.failures++
+	if e.state == bkHalfOpen || e.failures >= breakerThreshold {
+		e.state = bkOpen
+		e.openUntil = time.Now().Add(cooldown)
+	}
+}
+
+// snapshot returns the breaker state for Stats.
+func (e *endpoint) snapshot() EndpointStats {
+	e.mu.Lock()
+	st := e.state
+	e.mu.Unlock()
+	return EndpointStats{
+		URL:      e.base,
+		State:    st.String(),
+		Requests: e.requests.Load(),
+		Errors:   e.errors.Load(),
+	}
+}
+
+// EndpointStats reports one cluster endpoint's health and traffic.
+type EndpointStats struct {
+	// URL is the endpoint's base URL.
+	URL string
+	// State is the circuit-breaker state: "ok" (closed), "open" (failing,
+	// cooling down), or "probing" (half-open, one trial request allowed).
+	State string
+	// Requests counts HTTP requests issued to this endpoint.
+	Requests int64
+	// Errors counts endpoint-health failures (connection errors,
+	// truncated bodies, 5xx).
+	Errors int64
+}
+
+// shardKey is the rendezvous key of one fragment: sharding is by
+// (variable, fragment id), so a variable's fragments spread across the
+// cluster and every client agrees on each fragment's primary.
+func shardKey(vr string, fi int) string {
+	return vr + "\x00" + strconv.Itoa(fi)
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche mixing of a 64-bit
+// word. Rendezvous needs it because comparing raw FNV digests of
+// base+key strings is a trap — two bases differing in a few bytes keep a
+// near-linear relation through a shared key suffix, and one endpoint can
+// win almost every key.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s) //nolint:errcheck // fnv never errors
+	return h.Sum64()
+}
+
+// candidates returns every endpoint ordered by rendezvous score for key,
+// highest first. The order is deterministic across clients and immune to
+// the endpoint list's input order.
+func (c *Client) candidates(key string) []*endpoint {
+	if len(c.eps) == 1 {
+		return c.eps
+	}
+	type scored struct {
+		ep    *endpoint
+		score uint64
+	}
+	kh := mix64(fnv64(key))
+	sc := make([]scored, len(c.eps))
+	for i, ep := range c.eps {
+		sc[i] = scored{ep, mix64(ep.hash ^ kh)}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].ep.base < sc[j].ep.base
+	})
+	out := make([]*endpoint, len(sc))
+	for i, s := range sc {
+		out[i] = s.ep
+	}
+	return out
+}
+
+// attempt issues exactly one HTTP request to one endpoint, classifying
+// the outcome: retryable failures (connection errors, truncated bodies,
+// 5xx) feed the breaker and may fail over; anything else is final.
+func (c *Client) attempt(ctx context.Context, ep *endpoint, method, path string, body []byte, contentType string) (data []byte, err error, retryable bool) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, ep.base+path, rd)
+	if err != nil {
+		ep.abortProbe()
+		return nil, err, false
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	c.wireRequests.Add(1)
+	ep.requests.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller walked away; surface its reason, not the
+			// transport's wrapping of the aborted socket — and give back
+			// the probe slot if this request was one.
+			ep.abortProbe()
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err()), false
+		}
+		ep.errors.Add(1)
+		ep.report(false, c.opts.BreakerCooldown)
+		return nil, fmt.Errorf("client: %s %s via %s: %w", method, path, ep.base, err), true
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	switch {
+	case resp.StatusCode >= 500:
+		ep.errors.Add(1)
+		ep.report(false, c.opts.BreakerCooldown)
+		return nil, fmt.Errorf("client: %s %s via %s: %s: %s",
+			method, path, ep.base, resp.Status, strings.TrimSpace(string(data))), true
+	case resp.StatusCode != http.StatusOK:
+		ep.report(true, 0)
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, &HTTPError{Status: resp.StatusCode, Msg: string(data)}), false
+	case rerr != nil:
+		if ctx.Err() != nil {
+			ep.abortProbe()
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err()), false
+		}
+		ep.errors.Add(1)
+		ep.report(false, c.opts.BreakerCooldown)
+		return nil, fmt.Errorf("client: %s %s via %s: truncated body: %w", method, path, ep.base, rerr), true
+	}
+	ep.report(true, 0)
+	return data, nil, false
+}
+
+// doOrder issues one request over an ordered candidate list in three
+// sweeps per pass: replicas (the first repl candidates) with willing
+// breakers, then any endpoint with a willing breaker (healthy spill), and
+// only then breaker-open nodes as a last resort — so a shard whose whole
+// replica set is dead reaches a healthy non-replica without first eating
+// a doomed dial timeout per open circuit. Failing over to the next
+// candidate is immediate; exponential backoff applies only between full
+// passes, and MaxRetries bounds the extra passes exactly as it bounded
+// single-endpoint retries.
+func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, method, path string, body []byte, contentType string) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var lastErr error
+	attempts := 0
+	backoff := c.opts.RetryBackoff
+	for pass := 0; pass <= c.opts.MaxRetries; pass++ {
+		if pass > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+		tried := map[*endpoint]bool{}
+		for sweep := 0; sweep < 3; sweep++ {
+			for i, ep := range order {
+				if tried[ep] {
+					continue
+				}
+				if sweep == 0 && i >= repl {
+					continue
+				}
+				if sweep < 2 && !ep.admit(time.Now()) {
+					continue
+				}
+				tried[ep] = true
+				attempts++
+				data, err, retryable := c.attempt(ctx, ep, method, path, body, contentType)
+				if err == nil {
+					if i > 0 {
+						c.failovers.Add(1)
+					}
+					return data, nil
+				}
+				if !retryable {
+					return nil, err
+				}
+				lastErr = err
+			}
+		}
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// ClusterInfo fetches a node's static topology (progqoid -advertise and
+// -peers), for endpoint discovery.
+func (c *Client) ClusterInfo(ctx context.Context) (*server.ClusterInfo, error) {
+	b, err := c.do(ctx, "GET", "/v1/cluster", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	var info server.ClusterInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		return nil, fmt.Errorf("client: cluster info: %w", err)
+	}
+	return &info, nil
+}
+
+// shardItem is one fragment routed through the sharded batch fetch.
+type shardItem struct {
+	vr    string
+	fi    int
+	key   string // fragKey (cache/result key)
+	order []*endpoint
+}
+
+// fetchShards fetches the given fragments from the cluster: each fragment
+// routes to the first available endpoint of its rendezvous order, the
+// per-endpoint sub-batches travel as concurrent POSTs bounded by workers,
+// and a sub-batch that fails with a retryable error is re-sharded onto
+// the next replica of each of its fragments. Backoff and the MaxRetries
+// budget apply only once every endpoint has failed the current pass —
+// plain failover is free. The result maps fragKey to payload (payloads
+// alias the response blobs; callers clone before caching).
+func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[string][]int, workers int) (map[string][]byte, error) {
+	var items []shardItem
+	for _, vr := range sortedKeys(wants) {
+		for _, fi := range wants[vr] {
+			items = append(items, shardItem{
+				vr:    vr,
+				fi:    fi,
+				key:   fragKey(dataset, vr, fi),
+				order: c.candidates(shardKey(vr, fi)),
+			})
+		}
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	got := map[string][]byte{}
+	remaining := items
+	excluded := map[*endpoint]bool{}
+	var lastErr error
+	backoff := c.opts.RetryBackoff
+	pass := 0
+	for len(remaining) > 0 {
+		// Route every remaining fragment to the first endpoint of its
+		// rendezvous order that has not failed this call: replicas with
+		// willing breakers first, then any willing endpoint (healthy
+		// spill), and breaker-open nodes only as a last resort — never
+		// ahead of a healthy non-replica.
+		groups := map[*endpoint][]shardItem{}
+		now := time.Now()
+		for _, it := range remaining {
+			var ep *endpoint
+			for sweep := 0; sweep < 3 && ep == nil; sweep++ {
+				for i, cand := range it.order {
+					if excluded[cand] {
+						continue
+					}
+					if sweep == 0 && i >= c.repl {
+						continue
+					}
+					if sweep < 2 && !cand.admit(now) {
+						continue
+					}
+					ep = cand
+					break
+				}
+			}
+			if ep != nil {
+				groups[ep] = append(groups[ep], it)
+			}
+		}
+		if len(groups) == 0 {
+			// Every endpoint has failed this pass: spend one unit of the
+			// retry budget, back off, and give them all another chance.
+			pass++
+			if pass > c.opts.MaxRetries {
+				return nil, fmt.Errorf("client: giving up after %d passes over %d endpoint(s): %w",
+					pass, len(c.eps), lastErr)
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("client: batch fetch: %w", ctx.Err())
+			case <-t.C:
+			}
+			backoff *= 2
+			excluded = map[*endpoint]bool{}
+			continue
+		}
+
+		type groupResult struct {
+			ep        *endpoint
+			items     []shardItem
+			frags     []server.BatchFragment
+			err       error
+			retryable bool
+		}
+		results := make([]groupResult, 0, len(groups))
+		var (
+			resMu sync.Mutex
+			wg    sync.WaitGroup
+		)
+		sem := make(chan struct{}, workers)
+		for ep, its := range groups {
+			wg.Add(1)
+			go func(ep *endpoint, its []shardItem) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				byVar := map[string][]int{}
+				for _, it := range its {
+					byVar[it.vr] = append(byVar[it.vr], it.fi)
+				}
+				req := server.BatchRequest{}
+				for _, vr := range sortedKeys(byVar) {
+					req.Wants = append(req.Wants, server.BatchWant{Var: vr, Indices: byVar[vr]})
+				}
+				body, _ := json.Marshal(req)
+				blob, err, retryable := c.attempt(ctx, ep, "POST", "/v1/d/"+dataset+"/frags", body, "application/json")
+				res := groupResult{ep: ep, items: its, err: err, retryable: retryable}
+				if err == nil {
+					res.frags, res.err = server.DecodeBatch(blob)
+					// A batch that decodes wrong is corruption, not an
+					// unhealthy endpoint: fail the call like the
+					// single-endpoint client did.
+				}
+				resMu.Lock()
+				results = append(results, res)
+				resMu.Unlock()
+			}(ep, its)
+		}
+		wg.Wait()
+
+		remaining = remaining[:0]
+		for _, res := range results {
+			switch {
+			case res.err == nil:
+				for _, f := range res.frags {
+					got[fragKey(dataset, f.Var, f.Index)] = f.Payload
+				}
+				for _, it := range res.items {
+					if res.ep != it.order[0] {
+						c.failovers.Add(1)
+					}
+				}
+			case res.retryable:
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("client: batch fetch: %w", ctx.Err())
+				}
+				lastErr = res.err
+				excluded[res.ep] = true
+				remaining = append(remaining, res.items...)
+			default:
+				return nil, res.err
+			}
+		}
+	}
+	return got, nil
+}

@@ -82,9 +82,29 @@ type Remote struct {
 func (r *Remote) WaitReadAhead() { r.specWG.Wait() }
 
 // Open dials baseURL and opens the named dataset with fresh client
-// options; ctx scopes the metadata round trips. Share one Client across
-// datasets via New + OpenDataset when the cache should span them.
+// options; ctx scopes the metadata round trips (and, with
+// Options.DiscoverPeers, one best-effort topology fetch). Share one
+// Client across datasets via New + OpenDataset when the cache should
+// span them.
 func Open(ctx context.Context, baseURL, dataset string, opt Options) (*Remote, error) {
+	if opt.DiscoverPeers {
+		// Ask the seed node for its static topology and fold the peers
+		// into the endpoint set. Best-effort: a node without the route
+		// (or an unreachable one — the configured endpoints may still
+		// cover for it) is treated as advertising nothing.
+		seed, err := New(baseURL, Options{
+			HTTPClient:   opt.HTTPClient,
+			MaxRetries:   opt.MaxRetries,
+			RetryBackoff: opt.RetryBackoff,
+			CacheBytes:   -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if info, err := seed.ClusterInfo(ctx); err == nil {
+			opt.Endpoints = append(append([]string(nil), opt.Endpoints...), info.Peers...)
+		}
+	}
 	c, err := New(baseURL, opt)
 	if err != nil {
 		return nil, err
@@ -175,6 +195,9 @@ func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core
 		cv.Ref = &ref
 		vars[i] = &cv
 	}
+	// The session's Workers budget bounds the concurrent per-shard
+	// sub-batches too, so wire fan-out never exceeds compute fan-out.
+	workers := cfg.Workers
 	cfg.Prefetch = func(ctx context.Context, need [][]int) error {
 		wants := map[string][]int{}
 		for vi, idxs := range need {
@@ -190,7 +213,7 @@ func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core
 		if len(wants) == 0 {
 			return nil
 		}
-		got, err := r.c.Fragments(ctx, r.dataset, wants)
+		got, err := r.c.FragmentsWorkers(ctx, r.dataset, wants, workers)
 		if err != nil {
 			return err
 		}

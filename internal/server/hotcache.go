@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// hotCache is the server's byte-bounded LRU over fragment payloads: the
+// working set a cluster node keeps in memory in front of its store.
+// Values are held by reference — fragments are immutable — so a hit costs
+// no copy. A zero-capacity cache stores nothing, which degrades every
+// fragment read to a store read but keeps the server correct.
+type hotCache struct {
+	mu        sync.Mutex
+	capBytes  int64
+	size      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type hotEntry struct {
+	key string
+	val []byte
+}
+
+func newHotCache(capBytes int64) *hotCache {
+	return &hotCache{capBytes: capBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *hotCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*hotEntry).val, true
+}
+
+func (c *hotCache) add(key string, val []byte) {
+	if c.capBytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*hotEntry)
+		c.size += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&hotEntry{key: key, val: val})
+		c.size += int64(len(val))
+	}
+	for c.size > c.capBytes && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		e := back.Value.(*hotEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// hotStats is one consistent snapshot of the cache counters.
+type hotStats struct {
+	bytes     int64
+	entries   int
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func (c *hotCache) stats() hotStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return hotStats{bytes: c.size, entries: c.ll.Len(), hits: c.hits, misses: c.misses, evictions: c.evictions}
+}

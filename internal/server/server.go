@@ -1,10 +1,12 @@
 // Package server implements the fragment service side of the paper's
 // remote-retrieval scenario (§VI-D): refactored archives live at a storage
 // site and are served over HTTP so a compute site can pull exactly the
-// bytes each tolerance needs. The service is stdlib-only and speaks three
+// bytes each tolerance needs. The service is stdlib-only and speaks these
 // route families:
 //
 //	GET  /healthz                     liveness + serving statistics (JSON)
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /v1/cluster                  static cluster topology (advertise + peers)
 //	GET  /v1/datasets                 served dataset names (JSON)
 //	GET  /v1/d/{ds}/index             dataset index: variables + fragment sizes
 //	GET  /v1/d/{ds}/meta              retrieval metadata blob (binary, CRC)
@@ -21,9 +23,22 @@
 // while queued on the semaphore returns 503 without consuming a slot, and
 // a batch abandoned mid-assembly stops with 499 instead of encoding bytes
 // nobody will read.
+//
+// # Memory model
+//
+// Startup loads each archive once to build the wire artifacts (index,
+// metadata blob, per-fragment ETags) and the byte offset of every
+// fragment payload inside its store blob, then drops the payloads.
+// Steady-state fragment reads go through a byte-bounded in-memory
+// hot-fragment LRU (Options.HotCacheBytes) in front of the store; a miss
+// is one ranged store read (storage.RangeReader when the store supports
+// it), re-verified against the fragment's recorded ETag so silent disk
+// corruption cannot reach the wire. A node therefore serves archives far
+// larger than its RAM, with the hot set pinned.
 package server
 
 import (
+	"bytes"
 	"compress/gzip"
 	"encoding/json"
 	"errors"
@@ -35,6 +50,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +62,10 @@ import (
 // is zero.
 const DefaultMaxInflight = 64
 
+// DefaultHotCacheBytes bounds the hot-fragment cache when
+// Options.HotCacheBytes is zero.
+const DefaultHotCacheBytes = 256 << 20
+
 // gzipMin is the smallest payload worth compressing.
 const gzipMin = 512
 
@@ -54,6 +74,18 @@ type Options struct {
 	// MaxInflight caps concurrently served requests (default
 	// DefaultMaxInflight); excess requests queue on a semaphore.
 	MaxInflight int
+	// HotCacheBytes bounds the in-memory hot-fragment cache in front of
+	// the store (default DefaultHotCacheBytes; negative disables caching,
+	// sending every fragment read to the store).
+	HotCacheBytes int64
+	// Advertise is this node's public base URL, reported at /v1/cluster
+	// so clients reached through a load balancer learn the direct address.
+	Advertise string
+	// Peers are the base URLs of the other nodes of a static cluster,
+	// reported at /v1/cluster for client-side endpoint discovery. The
+	// server itself never contacts them: sharding and failover are
+	// client-side concerns.
+	Peers []string
 	// LogRequests emits one log line per request via Logger.
 	LogRequests bool
 	// Logger receives request logs (default log.Default()).
@@ -61,17 +93,25 @@ type Options struct {
 }
 
 // dataset is one loaded archive with its precomputed wire artifacts.
+// Fragment payloads are dropped after startup; fragLocs locates each one
+// inside its variable's store blob for on-demand ranged reads.
 type dataset struct {
-	vars     []*core.Variable
+	name     string
+	vars     []*core.Variable // metadata only: fragment payloads dropped
 	varIdx   map[string]int
 	index    []byte // JSON Index
 	indexTag string
 	meta     []byte // EncodeMeta blob
 	metaTag  string
 	fragTags [][]string
+	varKeys  []string
+	fragLocs [][]storage.FragmentRange
 }
 
-// Stats is a snapshot of serving counters, exposed at /healthz.
+// Stats is a snapshot of serving counters, exposed at /healthz. The
+// limiter counters (Requests, Inflight, MaxConcurrent) are captured in one
+// critical section, so a snapshot can never show Inflight above
+// MaxConcurrent — cluster health checks key routing decisions off these.
 type Stats struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
@@ -80,7 +120,23 @@ type Stats struct {
 	Inflight      int64   `json:"inflight"`
 	MaxConcurrent int64   `json:"maxConcurrent"`
 	FragmentBytes int64   `json:"fragmentBytes"`
+	// Hot-fragment cache counters (see Options.HotCacheBytes).
+	HotCacheBytes     int64 `json:"hotCacheBytes"`
+	HotCacheEntries   int   `json:"hotCacheEntries"`
+	HotCacheHits      int64 `json:"hotCacheHits"`
+	HotCacheMisses    int64 `json:"hotCacheMisses"`
+	HotCacheEvictions int64 `json:"hotCacheEvictions"`
 }
+
+// ClusterInfo is the /v1/cluster payload: the static topology a daemon was
+// launched with.
+type ClusterInfo struct {
+	Advertise string   `json:"advertise,omitempty"`
+	Peers     []string `json:"peers"`
+}
+
+// routeLabels names the per-route request counters in /metrics order.
+var routeLabels = []string{"healthz", "metrics", "cluster", "datasets", "index", "meta", "frag", "frags", "store"}
 
 // Server is an http.Handler serving every archive found in a storage.Store.
 type Server struct {
@@ -91,19 +147,35 @@ type Server struct {
 	datasets map[string]*dataset
 	names    []string
 	start    time.Time
+	hot      *hotCache
 
-	requests  atomic.Int64
-	inflight  atomic.Int64
-	maxSeen   atomic.Int64
-	fragBytes atomic.Int64
+	// The limiter counters share one mutex so /healthz and /metrics
+	// snapshot them consistently (inflight can never read above maxSeen).
+	limMu    sync.Mutex
+	requests int64
+	inflight int64
+	maxSeen  int64
+
+	fragBytes   atomic.Int64
+	fragsServed atomic.Int64
+	batchReqs   atomic.Int64
+	batchFrags  atomic.Int64
+	routeReqs   [9]atomic.Int64 // indexed like routeLabels
 }
 
 // New scans st for archives (keys ending in ".manifest", as written by
-// storage.WriteArchive) and builds a server over all of them. Fragment
-// data is held in memory: the service exists to make fragment reads cheap.
+// storage.WriteArchive) and builds a server over all of them. Each archive
+// is loaded once to precompute wire artifacts and fragment offsets, then
+// its payloads are dropped: steady-state reads go through the hot cache in
+// front of the store.
 func New(st storage.Store, opt Options) (*Server, error) {
 	if opt.MaxInflight <= 0 {
 		opt.MaxInflight = DefaultMaxInflight
+	}
+	if opt.HotCacheBytes == 0 {
+		opt.HotCacheBytes = DefaultHotCacheBytes
+	} else if opt.HotCacheBytes < 0 {
+		opt.HotCacheBytes = 0
 	}
 	if opt.Logger == nil {
 		opt.Logger = log.Default()
@@ -118,6 +190,7 @@ func New(st storage.Store, opt Options) (*Server, error) {
 		sem:      make(chan struct{}, opt.MaxInflight),
 		datasets: map[string]*dataset{},
 		start:    time.Now(),
+		hot:      newHotCache(opt.HotCacheBytes),
 	}
 	for _, k := range keys {
 		name, ok := strings.CutSuffix(k, ".manifest")
@@ -128,7 +201,7 @@ func New(st storage.Store, opt Options) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: load dataset %q: %w", name, err)
 		}
-		ds := &dataset{vars: vars, varIdx: map[string]int{}}
+		ds := &dataset{name: name, vars: vars, varIdx: map[string]int{}}
 		idx, err := json.Marshal(BuildIndex(name, vars))
 		if err != nil {
 			return nil, err
@@ -137,6 +210,8 @@ func New(st storage.Store, opt Options) (*Server, error) {
 		ds.meta = EncodeMeta(vars)
 		ds.metaTag = etag(ds.meta)
 		ds.fragTags = make([][]string, len(vars))
+		ds.varKeys = make([]string, len(vars))
+		ds.fragLocs = make([][]storage.FragmentRange, len(vars))
 		for vi, v := range vars {
 			ds.varIdx[v.Name] = vi
 			tags := make([]string, len(v.Ref.Fragments))
@@ -144,46 +219,125 @@ func New(st storage.Store, opt Options) (*Server, error) {
 				tags[fi] = etag(f)
 			}
 			ds.fragTags[vi] = tags
+			key := storage.VarKey(name, v.Name)
+			raw, err := st.Get(key)
+			if err != nil {
+				return nil, fmt.Errorf("server: locate fragments of %s/%s: %w", name, v.Name, err)
+			}
+			locs, err := storage.VariableFragmentRanges(raw)
+			if err != nil {
+				return nil, fmt.Errorf("server: locate fragments of %s/%s: %w", name, v.Name, err)
+			}
+			if len(locs) != len(v.Ref.Fragments) {
+				return nil, fmt.Errorf("server: %s/%s: %d fragment ranges for %d fragments",
+					name, v.Name, len(locs), len(v.Ref.Fragments))
+			}
+			for fi, loc := range locs {
+				if loc.Len != int64(len(v.Ref.Fragments[fi])) {
+					return nil, fmt.Errorf("server: %s/%s/%d: range length %d, fragment %d",
+						name, v.Name, fi, loc.Len, len(v.Ref.Fragments[fi]))
+				}
+			}
+			ds.varKeys[vi] = key
+			ds.fragLocs[vi] = locs
+			// Startup is the only time the whole variable is resident:
+			// drop the payloads now that the index, ETags and offsets are
+			// recorded. Serving pulls them back through the hot cache.
+			for fi := range v.Ref.Fragments {
+				v.Ref.Fragments[fi] = nil
+			}
 		}
 		s.datasets[name] = ds
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
-	s.mux.HandleFunc("GET /v1/d/{ds}/index", s.handleIndex)
-	s.mux.HandleFunc("GET /v1/d/{ds}/meta", s.handleMeta)
-	s.mux.HandleFunc("GET /v1/d/{ds}/frag/{vr}/{idx}", s.handleFragment)
-	s.mux.HandleFunc("POST /v1/d/{ds}/frags", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/store/keys", s.handleStoreKeys)
-	s.mux.HandleFunc("GET /v1/store/blob/{key}", s.handleStoreBlob)
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/cluster", s.counted("cluster", s.handleCluster))
+	s.mux.HandleFunc("GET /v1/datasets", s.counted("datasets", s.handleDatasets))
+	s.mux.HandleFunc("GET /v1/d/{ds}/index", s.counted("index", s.handleIndex))
+	s.mux.HandleFunc("GET /v1/d/{ds}/meta", s.counted("meta", s.handleMeta))
+	s.mux.HandleFunc("GET /v1/d/{ds}/frag/{vr}/{idx}", s.counted("frag", s.handleFragment))
+	s.mux.HandleFunc("POST /v1/d/{ds}/frags", s.counted("frags", s.handleBatch))
+	s.mux.HandleFunc("GET /v1/store/keys", s.counted("store", s.handleStoreKeys))
+	s.mux.HandleFunc("GET /v1/store/blob/{key}", s.counted("store", s.handleStoreBlob))
 	return s, nil
+}
+
+// counted wraps a handler with its per-route request counter.
+func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	ri := -1
+	for i, l := range routeLabels {
+		if l == route {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		panic("server: unknown route label " + route)
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.routeReqs[ri].Add(1)
+		h(w, r)
+	}
 }
 
 // Datasets returns the served dataset names.
 func (s *Server) Datasets() []string { return append([]string(nil), s.names...) }
 
-// Stats snapshots the serving counters.
+// Stats snapshots the serving counters. The limiter counters are read in
+// one critical section — the same one their updates hold — so the snapshot
+// is internally consistent: Inflight never exceeds MaxConcurrent and never
+// exceeds Requests.
 func (s *Server) Stats() Stats {
+	s.limMu.Lock()
+	requests, inflight, maxSeen := s.requests, s.inflight, s.maxSeen
+	s.limMu.Unlock()
+	hc := s.hot.stats()
 	return Stats{
-		Status:        "ok",
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Datasets:      len(s.datasets),
-		Requests:      s.requests.Load(),
-		Inflight:      s.inflight.Load(),
-		MaxConcurrent: s.maxSeen.Load(),
-		FragmentBytes: s.fragBytes.Load(),
+		Status:            "ok",
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Datasets:          len(s.datasets),
+		Requests:          requests,
+		Inflight:          inflight,
+		MaxConcurrent:     maxSeen,
+		FragmentBytes:     s.fragBytes.Load(),
+		HotCacheBytes:     hc.bytes,
+		HotCacheEntries:   hc.entries,
+		HotCacheHits:      hc.hits,
+		HotCacheMisses:    hc.misses,
+		HotCacheEvictions: hc.evictions,
+	}
+}
+
+// countRequest updates the limiter counters under their shared mutex and
+// returns a release func for the inflight gauge (nil when track is false).
+func (s *Server) countRequest(track bool) func() {
+	s.limMu.Lock()
+	defer s.limMu.Unlock()
+	s.requests++
+	if !track {
+		return nil
+	}
+	s.inflight++
+	if s.inflight > s.maxSeen {
+		s.maxSeen = s.inflight
+	}
+	return func() {
+		s.limMu.Lock()
+		s.inflight--
+		s.limMu.Unlock()
 	}
 }
 
 // ServeHTTP implements http.Handler: bound concurrency, count, dispatch.
-// Liveness probes bypass the semaphore — a saturated-but-healthy server
-// must still answer /healthz, and the stats it reports are atomics that
-// need no slot.
+// Observability probes bypass the semaphore — a saturated-but-healthy
+// server must still answer /healthz and /metrics, and the stats they
+// report need no slot.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/healthz" {
-		s.requests.Add(1)
+	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		s.countRequest(false)
 		s.mux.ServeHTTP(w, r)
 		return
 	}
@@ -194,19 +348,52 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { <-s.sem }()
-	s.requests.Add(1)
-	cur := s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-	for {
-		max := s.maxSeen.Load()
-		if cur <= max || s.maxSeen.CompareAndSwap(max, cur) {
-			break
-		}
-	}
+	release := s.countRequest(true)
+	defer release()
 	if s.opts.LogRequests {
 		s.opts.Logger.Printf("progqoid: %s %s from %s", r.Method, r.URL.Path, r.RemoteAddr)
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// fragment returns one fragment payload: hot-cache hit, or a ranged store
+// read verified against the fragment's recorded ETag.
+func (s *Server) fragment(ds *dataset, vi, fi int) ([]byte, error) {
+	key := ds.name + "\x00" + ds.vars[vi].Name + "\x00" + strconv.Itoa(fi)
+	if b, ok := s.hot.get(key); ok {
+		return b, nil
+	}
+	loc := ds.fragLocs[vi][fi]
+	var (
+		b   []byte
+		err error
+	)
+	if rr, ok := s.store.(storage.RangeReader); ok {
+		b, err = rr.GetRange(ds.varKeys[vi], loc.Off, loc.Len)
+	} else {
+		// Store without partial reads: load the variable blob and copy the
+		// fragment out. The clone matters: caching a subslice would pin
+		// the whole blob's backing array while the cache accounts only the
+		// fragment's length, making the byte bound fiction.
+		var raw []byte
+		raw, err = s.store.Get(ds.varKeys[vi])
+		if err == nil {
+			if loc.Off+loc.Len > int64(len(raw)) {
+				err = fmt.Errorf("server: %s/%s blob shrank under us", ds.name, ds.vars[vi].Name)
+			} else {
+				b = bytes.Clone(raw[loc.Off : loc.Off+loc.Len])
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: read fragment %s/%s/%d: %w", ds.name, ds.vars[vi].Name, fi, err)
+	}
+	if got := etag(b); got != ds.fragTags[vi][fi] {
+		return nil, fmt.Errorf("server: fragment %s/%s/%d corrupt at rest: etag %s, recorded %s",
+			ds.name, ds.vars[vi].Name, fi, got, ds.fragTags[vi][fi])
+	}
+	s.hot.add(key, b)
+	return b, nil
 }
 
 func (s *Server) dataset(w http.ResponseWriter, r *http.Request) *dataset {
@@ -220,6 +407,50 @@ func (s *Server) dataset(w http.ResponseWriter, r *http.Request) *dataset {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	b, _ := json.Marshal(s.Stats())
+	writeBlob(w, r, b, "", "application/json", false)
+}
+
+// handleMetrics renders the Prometheus text exposition format (version
+// 0.0.4) with the stdlib only: request counts per route, batch sizes,
+// cache hit/miss/eviction counters, in-flight gauge, and bytes served.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	var b strings.Builder
+	metric := func(name, typ, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	metric("progqoid_uptime_seconds", "gauge", "Seconds since the server started.", st.UptimeSeconds)
+	metric("progqoid_datasets", "gauge", "Datasets served.", st.Datasets)
+	metric("progqoid_requests_total", "counter", "HTTP requests received, including observability probes.", st.Requests)
+	fmt.Fprintf(&b, "# HELP progqoid_route_requests_total HTTP requests dispatched, by route family.\n"+
+		"# TYPE progqoid_route_requests_total counter\n")
+	for i, l := range routeLabels {
+		fmt.Fprintf(&b, "progqoid_route_requests_total{route=%q} %d\n", l, s.routeReqs[i].Load())
+	}
+	metric("progqoid_inflight_requests", "gauge", "Requests currently holding a concurrency slot.", st.Inflight)
+	metric("progqoid_max_concurrent_requests", "gauge", "High-water mark of concurrent requests.", st.MaxConcurrent)
+	metric("progqoid_fragment_bytes_total", "counter", "Fragment payload bytes served (before transport compression).", st.FragmentBytes)
+	metric("progqoid_fragments_served_total", "counter", "Fragments served across single and batched fetches.", s.fragsServed.Load())
+	metric("progqoid_batch_requests_total", "counter", "Batched fragment POSTs answered.", s.batchReqs.Load())
+	metric("progqoid_batch_fragments_total", "counter", "Fragments shipped inside batched responses (divide by batch_requests for mean batch size).", s.batchFrags.Load())
+	metric("progqoid_hot_cache_bytes", "gauge", "Bytes resident in the hot-fragment cache.", st.HotCacheBytes)
+	metric("progqoid_hot_cache_entries", "gauge", "Fragments resident in the hot-fragment cache.", st.HotCacheEntries)
+	metric("progqoid_hot_cache_hits_total", "counter", "Fragment reads served from the hot cache.", st.HotCacheHits)
+	metric("progqoid_hot_cache_misses_total", "counter", "Fragment reads that went to the store.", st.HotCacheMisses)
+	metric("progqoid_hot_cache_evictions_total", "counter", "Fragments evicted from the hot cache under byte pressure.", st.HotCacheEvictions)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String())) //nolint:errcheck
+}
+
+// handleCluster reports the static topology this node was launched with
+// (cmd/progqoid -advertise/-peers), so a client pointed at one node can
+// discover the rest.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	peers := s.opts.Peers
+	if peers == nil {
+		peers = []string{}
+	}
+	b, _ := json.Marshal(ClusterInfo{Advertise: s.opts.Advertise, Peers: peers})
 	writeBlob(w, r, b, "", "application/json", false)
 }
 
@@ -253,13 +484,18 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fi, err := strconv.Atoi(r.PathValue("idx"))
-	if err != nil || fi < 0 || fi >= len(ds.vars[vi].Ref.Fragments) {
+	if err != nil || fi < 0 || fi >= len(ds.fragLocs[vi]) {
 		http.Error(w, "fragment index out of range", http.StatusNotFound)
 		return
 	}
-	frag := ds.vars[vi].Ref.Fragments[fi]
+	frag, err := s.fragment(ds, vi, fi)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	if writeBlob(w, r, frag, ds.fragTags[vi][fi], "application/octet-stream", true) {
 		s.fragBytes.Add(int64(len(frag)))
+		s.fragsServed.Add(1)
 	}
 }
 
@@ -306,9 +542,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "unknown variable "+want.Var, http.StatusNotFound)
 			return
 		}
-		v := ds.vars[vi]
 		for _, fi := range want.Indices {
-			if fi < 0 || fi >= len(v.Ref.Fragments) {
+			if fi < 0 || fi >= len(ds.fragLocs[vi]) {
 				http.Error(w, fmt.Sprintf("fragment %s/%d out of range", want.Var, fi), http.StatusNotFound)
 				return
 			}
@@ -316,10 +551,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			sent[fragID{vi, fi}] = true
-			frags = append(frags, BatchFragment{Var: want.Var, Index: fi, Payload: v.Ref.Fragments[fi]})
-			s.fragBytes.Add(int64(len(v.Ref.Fragments[fi])))
+			payload, err := s.fragment(ds, vi, fi)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			frags = append(frags, BatchFragment{Var: want.Var, Index: fi, Payload: payload})
+			s.fragBytes.Add(int64(len(payload)))
+			s.fragsServed.Add(1)
 		}
 	}
+	s.batchReqs.Add(1)
+	s.batchFrags.Add(int64(len(frags)))
 	writeBlob(w, r, EncodeBatch(frags), "", "application/octet-stream", false)
 }
 

@@ -393,3 +393,211 @@ func ExampleBuildIndex() {
 	fmt.Println(idx.Dataset, len(idx.Variables))
 	// Output: demo 0
 }
+
+func TestHotCacheServesAndCounts(t *testing.T) {
+	hs, srv, vars := testServer(t, Options{})
+	url := fmt.Sprintf("%s/v1/d/ge/frag/%s/0", hs.URL, vars[0].Name)
+
+	resp, body := get(t, url)
+	if resp.StatusCode != 200 || !bytes.Equal(body, vars[0].Ref.Fragments[0]) {
+		t.Fatalf("first read: %s, %d bytes", resp.Status, len(body))
+	}
+	st := srv.Stats()
+	if st.HotCacheMisses == 0 || st.HotCacheEntries == 0 {
+		t.Fatalf("first read did not miss into the cache: %+v", st)
+	}
+
+	resp, body = get(t, url)
+	if resp.StatusCode != 200 || !bytes.Equal(body, vars[0].Ref.Fragments[0]) {
+		t.Fatalf("second read: %s, %d bytes", resp.Status, len(body))
+	}
+	st2 := srv.Stats()
+	if st2.HotCacheHits == 0 {
+		t.Fatalf("second read missed the hot cache: %+v", st2)
+	}
+	if st2.HotCacheMisses != st.HotCacheMisses {
+		t.Fatalf("second read went to the store: %d -> %d misses", st.HotCacheMisses, st2.HotCacheMisses)
+	}
+}
+
+func TestHotCacheEvictsUnderBytePressure(t *testing.T) {
+	// A cache smaller than one variable's fragments must keep evicting yet
+	// serve every payload correctly.
+	hs, srv, vars := testServer(t, Options{HotCacheBytes: 4 << 10})
+	for vi, v := range vars {
+		for fi, want := range v.Ref.Fragments {
+			resp, body := get(t, fmt.Sprintf("%s/v1/d/ge/frag/%s/%d", hs.URL, v.Name, fi))
+			if resp.StatusCode != 200 || !bytes.Equal(body, want) {
+				t.Fatalf("var %d frag %d: %s, %d bytes (want %d)", vi, fi, resp.Status, len(body), len(want))
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.HotCacheEvictions == 0 {
+		t.Fatalf("tiny cache never evicted: %+v", st)
+	}
+	if st.HotCacheBytes > 4<<10 {
+		t.Fatalf("cache exceeded its byte bound: %d", st.HotCacheBytes)
+	}
+}
+
+func TestHotCacheDisabledStillServes(t *testing.T) {
+	hs, srv, vars := testServer(t, Options{HotCacheBytes: -1})
+	url := fmt.Sprintf("%s/v1/d/ge/frag/%s/1", hs.URL, vars[0].Name)
+	for i := 0; i < 2; i++ {
+		resp, body := get(t, url)
+		if resp.StatusCode != 200 || !bytes.Equal(body, vars[0].Ref.Fragments[1]) {
+			t.Fatalf("read %d: %s", i, resp.Status)
+		}
+	}
+	st := srv.Stats()
+	if st.HotCacheHits != 0 || st.HotCacheEntries != 0 {
+		t.Fatalf("disabled cache recorded hits/entries: %+v", st)
+	}
+}
+
+func TestFragmentCorruptAtRestDetected(t *testing.T) {
+	vars := testVars(t)
+	st := storage.NewMemStore()
+	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(st, Options{HotCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rot one byte inside fragment 0's payload region after startup: the
+	// per-read ETag check must refuse to serve it.
+	key := storage.VarKey("ge", vars[0].Name)
+	raw, err := st.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs, err := storage.VariableFragmentRanges(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[locs[0].Off] ^= 0xff
+	if err := st.Put(key, raw); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, body := get(t, fmt.Sprintf("%s/v1/d/ge/frag/%s/0", hs.URL, vars[0].Name))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt fragment served: %s", resp.Status)
+	}
+	if !bytes.Contains(body, []byte("corrupt")) {
+		t.Fatalf("error does not name corruption: %q", body)
+	}
+	// The untouched fragment next door still serves.
+	resp, _ = get(t, fmt.Sprintf("%s/v1/d/ge/frag/%s/1", hs.URL, vars[0].Name))
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthy fragment refused: %s", resp.Status)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	hs, _, vars := testServer(t, Options{})
+	get(t, fmt.Sprintf("%s/v1/d/ge/frag/%s/0", hs.URL, vars[0].Name))
+	body, _ := json.Marshal(BatchRequest{Wants: []BatchWant{{Var: vars[0].Name, Indices: []int{0, 1}}}})
+	resp, err := http.Post(hs.URL+"/v1/d/ge/frags", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	mresp, mbody := get(t, hs.URL+"/metrics")
+	if mresp.StatusCode != 200 {
+		t.Fatalf("/metrics: %s", mresp.Status)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !bytes.Contains([]byte(ct), []byte("text/plain")) {
+		t.Fatalf("content type %q", ct)
+	}
+	text := string(mbody)
+	for _, want := range []string{
+		"progqoid_requests_total",
+		`progqoid_route_requests_total{route="frag"} 1`,
+		`progqoid_route_requests_total{route="frags"} 1`,
+		"progqoid_batch_requests_total 1",
+		"progqoid_batch_fragments_total 2",
+		"progqoid_inflight_requests",
+		"progqoid_fragment_bytes_total",
+		"progqoid_hot_cache_hits_total",
+		"progqoid_hot_cache_misses_total",
+		"# TYPE progqoid_requests_total counter",
+	} {
+		if !bytes.Contains(mbody, []byte(want)) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestClusterInfoEndpoint(t *testing.T) {
+	hs, _, _ := testServer(t, Options{
+		Advertise: "http://node0:9123",
+		Peers:     []string{"http://node1:9123", "http://node2:9123"},
+	})
+	resp, body := get(t, hs.URL+"/v1/cluster")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/cluster: %s", resp.Status)
+	}
+	var info ClusterInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Advertise != "http://node0:9123" || len(info.Peers) != 2 {
+		t.Fatalf("cluster info = %+v", info)
+	}
+
+	// A solo node reports an empty, non-null peer list.
+	hs2, _, _ := testServer(t, Options{})
+	_, body2 := get(t, hs2.URL+"/v1/cluster")
+	if !bytes.Contains(body2, []byte(`"peers":[]`)) {
+		t.Fatalf("solo cluster info = %s", body2)
+	}
+}
+
+func TestStatsSnapshotConsistency(t *testing.T) {
+	// Hammer the server while polling Stats: the limiter counters are
+	// captured in one critical section, so no snapshot may ever show more
+	// in-flight requests than the recorded high-water mark.
+	hs, srv, vars := testServer(t, Options{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(fmt.Sprintf("%s/v1/d/ge/frag/%s/0", hs.URL, vars[0].Name))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var lastRequests int64
+	for time.Now().Before(deadline) {
+		st := srv.Stats()
+		if st.Inflight > st.MaxConcurrent {
+			t.Errorf("torn snapshot: inflight %d > maxConcurrent %d", st.Inflight, st.MaxConcurrent)
+			break
+		}
+		if st.Requests < lastRequests {
+			t.Errorf("requests went backwards: %d -> %d", lastRequests, st.Requests)
+			break
+		}
+		lastRequests = st.Requests
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -48,6 +48,16 @@ type Store interface {
 	Keys() ([]string, error)
 }
 
+// RangeReader is an optional Store extension for partial reads. A server
+// holding only fragment offsets (see VariableFragmentRanges) uses it to
+// pull one fragment off disk without materializing the whole variable
+// blob. Implementations must return exactly length bytes or an error.
+type RangeReader interface {
+	// GetRange reads length bytes starting at off within the value stored
+	// under key. Reads past the end of the value fail rather than truncate.
+	GetRange(key string, off, length int64) ([]byte, error)
+}
+
 // MemStore is an in-memory Store, safe for concurrent use.
 type MemStore struct {
 	mu sync.RWMutex
@@ -74,6 +84,20 @@ func (s *MemStore) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	return append([]byte(nil), v...), nil
+}
+
+// GetRange implements RangeReader.
+func (s *MemStore) GetRange(key string, off, length int64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if off < 0 || length < 0 || off+length > int64(len(v)) {
+		return nil, fmt.Errorf("storage: range [%d,%d) outside %q (%d bytes)", off, off+length, key, len(v))
+	}
+	return append([]byte(nil), v[off:off+length]...), nil
 }
 
 // Keys implements Store.
@@ -144,6 +168,30 @@ func (s *DirStore) Get(key string) ([]byte, error) {
 	return b, err
 }
 
+// GetRange implements RangeReader with one positioned read, so a fragment
+// fetch costs a pread instead of loading the whole variable file.
+func (s *DirStore) GetRange(key string, off, length int64) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("storage: negative range [%d,%d) for %q", off, off+length, key)
+	}
+	f, err := os.Open(filepath.Join(s.root, key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("storage: range [%d,%d) of %q: %w", off, off+length, key, err)
+	}
+	return buf, nil
+}
+
 // Keys implements Store.
 func (s *DirStore) Keys() ([]string, error) {
 	ents, err := os.ReadDir(s.root)
@@ -176,7 +224,7 @@ func WriteArchive(st Store, name string, vars []*core.Variable) error {
 	manifest = appendU32(manifest, uint32(len(vars)))
 	for _, v := range vars {
 		blob := marshalVariable(v)
-		key := fmt.Sprintf("%s.%s.var", name, v.Name)
+		key := VarKey(name, v.Name)
 		if err := validKey(key); err != nil {
 			return fmt.Errorf("storage: variable name %q unusable as key: %w", v.Name, err)
 		}
@@ -214,7 +262,7 @@ func ReadArchive(st Store, name string) ([]*core.Variable, error) {
 			return nil, err
 		}
 		off += m
-		key := fmt.Sprintf("%s.%s.var", name, nameB)
+		key := VarKey(name, string(nameB))
 		raw, err := st.Get(key)
 		if err != nil {
 			return nil, err
@@ -233,6 +281,75 @@ func ReadArchive(st Store, name string) ([]*core.Variable, error) {
 		vars[i] = v
 	}
 	return vars, nil
+}
+
+// VarKey returns the store key of one variable's blob within an archive,
+// as written by WriteArchive.
+func VarKey(dataset, variable string) string {
+	return fmt.Sprintf("%s.%s.var", dataset, variable)
+}
+
+// FragmentRange locates one fragment payload inside a stored variable blob
+// (the raw store value, CRC trailer included in the blob but not in the
+// range).
+type FragmentRange struct {
+	Off int64
+	Len int64
+}
+
+// VariableFragmentRanges walks a raw .var store blob (as written by
+// WriteArchive) and returns the byte range of every fragment payload
+// within it, in fragment order. A server that knows these ranges can drop
+// the payloads from memory and re-read any one of them with a
+// RangeReader. The blob CRC is verified before walking.
+func VariableFragmentRanges(raw []byte) ([]FragmentRange, error) {
+	blob, err := checkCRC(raw)
+	if err != nil {
+		return nil, fmt.Errorf("storage: fragment ranges: %w", err)
+	}
+	// marshalVariable layout: sections name, range, mask, then the
+	// progressive.Refactored blob. Within that: one header section, a
+	// 4-byte fragment count, then one section per fragment.
+	off := 0
+	for i := 0; i < 3; i++ {
+		_, n, err := encoding.GetSection(blob[off:])
+		if err != nil {
+			return nil, fmt.Errorf("storage: fragment ranges: section %d: %w", i, err)
+		}
+		off += n
+	}
+	refStart := off + 4 // skip the ref section's own length prefix
+	if off+4 > len(blob) {
+		return nil, fmt.Errorf("%w: variable blob truncated before representation", encoding.ErrCorrupt)
+	}
+	ref, _, err := encoding.GetSection(blob[off:])
+	if err != nil {
+		return nil, fmt.Errorf("storage: fragment ranges: representation: %w", err)
+	}
+	roff := 0
+	_, n, err := encoding.GetSection(ref)
+	if err != nil {
+		return nil, fmt.Errorf("storage: fragment ranges: header: %w", err)
+	}
+	roff += n
+	if roff+4 > len(ref) {
+		return nil, fmt.Errorf("%w: representation truncated before fragment count", encoding.ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(ref[roff:]))
+	roff += 4
+	if count < 0 || count > len(ref)/4 {
+		return nil, fmt.Errorf("%w: %d fragments in %d-byte representation", encoding.ErrCorrupt, count, len(ref))
+	}
+	out := make([]FragmentRange, count)
+	for i := 0; i < count; i++ {
+		payload, n, err := encoding.GetSection(ref[roff:])
+		if err != nil {
+			return nil, fmt.Errorf("storage: fragment ranges: fragment %d: %w", i, err)
+		}
+		out[i] = FragmentRange{Off: int64(refStart + roff + 4), Len: int64(len(payload))}
+		roff += n
+	}
+	return out, nil
 }
 
 func appendU32(b []byte, v uint32) []byte {

@@ -246,3 +246,83 @@ func TestRangePreservedThroughArchive(t *testing.T) {
 		}
 	}
 }
+
+func TestGetRange(t *testing.T) {
+	mem := NewMemStore()
+	dir, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]Store{"mem": mem, "dir": dir} {
+		t.Run(name, func(t *testing.T) {
+			rr, ok := s.(RangeReader)
+			if !ok {
+				t.Fatalf("%T does not implement RangeReader", s)
+			}
+			if err := s.Put("blob", []byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := rr.GetRange("blob", 3, 4)
+			if err != nil || string(got) != "3456" {
+				t.Fatalf("GetRange = %q, %v", got, err)
+			}
+			if _, err := rr.GetRange("blob", 8, 4); err == nil {
+				t.Fatal("read past end did not fail")
+			}
+			if _, err := rr.GetRange("blob", -1, 2); err == nil {
+				t.Fatal("negative offset accepted")
+			}
+			if _, err := rr.GetRange("missing", 0, 1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing key: want ErrNotFound, got %v", err)
+			}
+		})
+	}
+	// MemStore ranges must be copies, like Get.
+	got, err := mem.GetRange("blob", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 'X'
+	again, _ := mem.GetRange("blob", 0, 2)
+	if again[0] != '0' {
+		t.Fatal("MemStore.GetRange leaked internal buffer")
+	}
+}
+
+func TestVariableFragmentRanges(t *testing.T) {
+	vars, _ := testVars(t)
+	st := NewMemStore()
+	if err := WriteArchive(st, "ge", vars); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vars {
+		raw, err := st.Get(VarKey("ge", v.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges, err := VariableFragmentRanges(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		if len(ranges) != len(v.Ref.Fragments) {
+			t.Fatalf("%s: %d ranges for %d fragments", v.Name, len(ranges), len(v.Ref.Fragments))
+		}
+		for fi, rng := range ranges {
+			want := v.Ref.Fragments[fi]
+			if rng.Len != int64(len(want)) {
+				t.Fatalf("%s/%d: range length %d, fragment %d", v.Name, fi, rng.Len, len(want))
+			}
+			got := raw[rng.Off : rng.Off+rng.Len]
+			if string(got) != string(want) {
+				t.Fatalf("%s/%d: range payload differs from fragment", v.Name, fi)
+			}
+		}
+	}
+	// Corruption must be caught by the frame CRC before any walking.
+	raw, _ := st.Get(VarKey("ge", vars[0].Name))
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := VariableFragmentRanges(bad); err == nil {
+		t.Fatal("corrupt blob walked without error")
+	}
+}

@@ -53,6 +53,12 @@
 // sessions. Archive.RemoteStats reports actual wire bytes next to each
 // session's logical RetrievedBytes.
 //
+// Several progqoid nodes serving the same archive form a cluster: pass
+// the extra base URLs with [WithEndpoints] (or let [WithPeerDiscovery]
+// find them), and fragment fetches shard across the nodes by rendezvous
+// hashing with transparent replica failover — a node dying mid-retrieval
+// changes nothing about the result.
+//
 // # Concurrency
 //
 // A Session is a stateful incremental cursor: use each Session from one
@@ -182,10 +188,13 @@ type Archive struct {
 type RemoteOption func(*remoteOptions)
 
 type remoteOptions struct {
-	cacheBytes int64
-	maxRetries int
-	readAhead  int
-	httpClient *http.Client
+	cacheBytes  int64
+	maxRetries  int
+	readAhead   int
+	httpClient  *http.Client
+	endpoints   []string
+	replication int
+	discover    bool
 }
 
 // WithCache bounds the fragment LRU cache shared by all sessions of the
@@ -203,6 +212,34 @@ func WithRetries(n int) RemoteOption {
 // WithHTTPClient overrides the HTTP transport.
 func WithHTTPClient(hc *http.Client) RemoteOption {
 	return func(o *remoteOptions) { o.httpClient = hc }
+}
+
+// WithEndpoints adds further cluster nodes serving the same archive as
+// the primary base URL. Fragment fetches shard across all endpoints by
+// rendezvous hashing over (variable, fragment id) — so each node's hot
+// cache sees a stable slice of the key space — and each batched fetch
+// splits into concurrent per-shard sub-batches. A node that refuses
+// connections or answers 5xx is failed over transparently: retrieval
+// results stay bit-identical, and RemoteStats.Failovers counts the
+// rerouted fetches.
+func WithEndpoints(urls ...string) RemoteOption {
+	return func(o *remoteOptions) { o.endpoints = append(o.endpoints, urls...) }
+}
+
+// WithReplication sets the replica-set size per shard: how many
+// rendezvous-preferred endpoints a fragment fetch tries before spilling
+// to the rest of the cluster (default 2, clamped to the endpoint count).
+func WithReplication(n int) RemoteOption {
+	return func(o *remoteOptions) { o.replication = n }
+}
+
+// WithPeerDiscovery asks OpenRemote to fetch the seed node's static
+// topology (/v1/cluster, populated by progqoid -peers) and fold the
+// advertised peers into the endpoint set — point a client at one node of
+// a static cluster and it finds the rest. Best-effort: a node without
+// the route behaves as a solo node.
+func WithPeerDiscovery() RemoteOption {
+	return func(o *remoteOptions) { o.discover = true }
 }
 
 // WithReadAhead pipelines the wire with the decoder: after each batched
@@ -236,10 +273,13 @@ func OpenRemote(ctx context.Context, baseURL, dataset string, opts ...RemoteOpti
 		}
 	}
 	rem, err := client.Open(ctx, baseURL, dataset, client.Options{
-		CacheBytes: ro.cacheBytes,
-		MaxRetries: ro.maxRetries,
-		ReadAhead:  ro.readAhead,
-		HTTPClient: ro.httpClient,
+		CacheBytes:    ro.cacheBytes,
+		MaxRetries:    ro.maxRetries,
+		ReadAhead:     ro.readAhead,
+		HTTPClient:    ro.httpClient,
+		Endpoints:     ro.endpoints,
+		Replication:   ro.replication,
+		DiscoverPeers: ro.discover,
 	})
 	if err != nil {
 		return nil, err
