@@ -1,0 +1,210 @@
+// Command doccheck is the CI documentation gate: it keeps the markdown
+// doc suite (README, ARCHITECTURE, FORMATS, CHANGES, ...) true as the
+// code moves. Two checks:
+//
+//   - Links: every relative markdown link must resolve to an existing
+//     file, and every fragment (#anchor, same-file or cross-file) must
+//     match a heading in its target, using GitHub's slug rules. External
+//     schemes (http:, https:, mailto:) are skipped — the gate runs
+//     offline.
+//
+//   - Symbols: every exported symbol the docs name as `progqoi.Xxx` is
+//     probed with `go doc`; a symbol that no longer exists fails the
+//     gate, so renaming or deleting public API without updating the docs
+//     is caught on the spot. -ignore exempts symbols that are documented
+//     deliberately as removed (e.g. in a migration guide).
+//
+// Usage:
+//
+//	doccheck [-dir REPO] [-pkg progqoi] [-nosymbols] \
+//	         [-ignore progqoi.Old,progqoi.Older] FILE.md ...
+//
+// Exit status 0 when every check passes; 1 with one line per finding
+// otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRe matches inline markdown links/images [text](target). Reference
+// links are rare in this repo and out of scope.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// symbolRe matches exported package symbols the docs name, e.g.
+// progqoi.Refactor. The package prefix is substituted from -pkg.
+func symbolRe(pkg string) *regexp.Regexp {
+	return regexp.MustCompile(regexp.QuoteMeta(pkg) + `\.([A-Z][A-Za-z0-9_]*)`)
+}
+
+// slug converts a heading to its GitHub anchor: lowercase, spaces to
+// hyphens, everything outside [a-z0-9-_] dropped.
+func slug(heading string) string {
+	// Inline code and formatting markers contribute their text only.
+	h := strings.NewReplacer("`", "", "*", "").Replace(heading)
+	h = strings.ToLower(h)
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+// anchors returns the set of heading anchors of a markdown document,
+// de-duplicated the way GitHub does (second "Foo" becomes foo-1).
+func anchors(md string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]int{}
+	for _, m := range headingRe.FindAllStringSubmatch(md, -1) {
+		s := slug(m[1])
+		if n := seen[s]; n > 0 {
+			out[fmt.Sprintf("%s-%d", s, n)] = true
+		} else {
+			out[s] = true
+		}
+		seen[s]++
+	}
+	return out
+}
+
+// stripCodeFences removes fenced code blocks so link checking does not
+// trip over pseudo-links in code samples; symbol scanning runs on the
+// full text (code samples name real API deliberately).
+func stripCodeFences(md string) string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if !fenced {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// checkLinks validates every relative link of file (path relative to
+// root), returning one message per broken link.
+func checkLinks(root, file, md string) []string {
+	var probs []string
+	for _, m := range linkRe.FindAllStringSubmatch(stripCodeFences(md), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		path, frag, _ := strings.Cut(target, "#")
+		var targetFile string
+		if path == "" {
+			targetFile = file // same-document anchor
+		} else {
+			targetFile = filepath.Join(filepath.Dir(file), path)
+			if _, err := os.Stat(filepath.Join(root, targetFile)); err != nil {
+				probs = append(probs, fmt.Sprintf("%s: broken link %q (no such file)", file, target))
+				continue
+			}
+		}
+		if frag == "" {
+			continue
+		}
+		tmd, err := os.ReadFile(filepath.Join(root, targetFile))
+		if err != nil {
+			probs = append(probs, fmt.Sprintf("%s: link %q: %v", file, target, err))
+			continue
+		}
+		if !anchors(string(tmd))[frag] {
+			probs = append(probs, fmt.Sprintf("%s: link %q: no heading with anchor %q in %s", file, target, frag, targetFile))
+		}
+	}
+	return probs
+}
+
+// collectSymbols gathers the unique pkg.Symbol names a document mentions.
+func collectSymbols(pkg, md string, into map[string]bool) {
+	for _, m := range symbolRe(pkg).FindAllStringSubmatch(md, -1) {
+		into[pkg+"."+m[1]] = true
+	}
+}
+
+// probeSymbol asks `go doc` (run inside root) whether sym still exists.
+func probeSymbol(root, sym string) error {
+	cmd := exec.Command("go", "doc", sym)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go doc %s: %s", sym, strings.TrimSpace(string(out)))
+	}
+	return nil
+}
+
+func run(root, pkg string, noSymbols bool, ignore map[string]bool, files []string) []string {
+	var probs []string
+	syms := map[string]bool{}
+	for _, f := range files {
+		md, err := os.ReadFile(filepath.Join(root, f))
+		if err != nil {
+			probs = append(probs, err.Error())
+			continue
+		}
+		probs = append(probs, checkLinks(root, f, string(md))...)
+		if !noSymbols {
+			collectSymbols(pkg, string(md), syms)
+		}
+	}
+	names := make([]string, 0, len(syms))
+	for s := range syms {
+		if !ignore[s] {
+			names = append(names, s)
+		}
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		if err := probeSymbol(root, s); err != nil {
+			probs = append(probs, fmt.Sprintf("stale symbol: %v", err))
+		}
+	}
+	return probs
+}
+
+func main() {
+	dir := flag.String("dir", ".", "repository root (module context for go doc; files resolve against it)")
+	pkg := flag.String("pkg", "progqoi", "package prefix whose symbols the docs are checked against")
+	noSymbols := flag.Bool("nosymbols", false, "skip the go doc symbol probe")
+	ignoreList := flag.String("ignore", "", "comma-separated symbols exempt from the probe (documented-as-removed API)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-dir REPO] [-pkg PKG] [-nosymbols] [-ignore SYMS] FILE.md ...")
+		os.Exit(2)
+	}
+	ignore := map[string]bool{}
+	for _, s := range strings.Split(*ignoreList, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			ignore[s] = true
+		}
+	}
+	probs := run(*dir, *pkg, *noSymbols, ignore, flag.Args())
+	for _, p := range probs {
+		fmt.Fprintln(os.Stderr, "doccheck:", p)
+	}
+	if len(probs) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(probs))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s) clean\n", flag.NArg())
+}

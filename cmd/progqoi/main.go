@@ -18,14 +18,21 @@
 // the wire from a running progqoid (see cmd/progqoid):
 //
 //	progqoi pack -dims 512x512 -dataset ge -fields Vx,Vy,Vz \
-//	    -store ./archives vx.f64 vy.f64 vz.f64
+//	    -store ./archives -workers 8 vx.f64 vy.f64 vz.f64
 //	progqoi retrieve -remote http://host:9123 -dataset ge \
 //	    -qoi "sqrt(Vx^2+Vy^2+Vz^2)" -tol 1e-4 -out vtot
+//
+// pack streams — one variable in memory at a time, variable blobs flushed
+// before the manifest — and parallelizes the per-bitplane encode under
+// -workers, with byte-identical output at every setting. Packing into a
+// directory a progqoid already serves, then POSTing its
+// /v1/datasets/reload admin route, publishes the dataset live.
 package main
 
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -72,12 +79,31 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   progqoi refactor -dims NxMx... [-method NAME] -out OUT.pq IN.f64
-  progqoi pack -dims NxMx... -dataset NAME -fields A,B,... -store DIR [-method NAME] IN1.f64 IN2.f64 ...
+  progqoi pack -dims NxMx... -dataset NAME -fields A,B,... -store DIR [-method NAME] [-workers N] IN1.f64 IN2.f64 ...
   progqoi retrieve -qoi FORMULA -tol T -fields A,B,... [-timeout D] [-progress] [-out PREFIX] IN1.pq IN2.pq ...
   progqoi retrieve -remote URL -dataset NAME -qoi FORMULA -tol T [-timeout D] [-progress] [-out PREFIX]
   progqoi info IN.pq
   progqoi verify IN.pq ORIGINAL.f64
 methods: psz3, psz3-delta, pmgard, pmgard-hb (default)`)
+}
+
+// newFlagSet builds a subcommand flag set that reports parse failures as
+// returned errors instead of exiting the process (matching progqoid), so
+// callers — and tests — see them; -h stays a clean exit via flag.ErrHelp.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ContinueOnError)
+}
+
+// parsed maps fs.Parse results to subcommand errors: help is success (the
+// usage text was already printed), everything else propagates.
+func parsed(fs *flag.FlagSet, args []string) (help bool, err error) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
 }
 
 func parseDims(s string) ([]int, error) {
@@ -132,11 +158,11 @@ func writeF64(path string, vals []float64) error {
 }
 
 func cmdRefactor(args []string) error {
-	fs := flag.NewFlagSet("refactor", flag.ExitOnError)
+	fs := newFlagSet("refactor")
 	dimsStr := fs.String("dims", "", "grid dims, e.g. 512x512")
 	methodStr := fs.String("method", "pmgard-hb", "progressive method")
 	out := fs.String("out", "", "output archive path")
-	if err := fs.Parse(args); err != nil {
+	if help, err := parsed(fs, args); help || err != nil {
 		return err
 	}
 	if fs.NArg() != 1 || *dimsStr == "" || *out == "" {
@@ -168,15 +194,22 @@ func cmdRefactor(args []string) error {
 }
 
 // cmdPack refactors several fields into one archive written to a storage
-// directory, ready for progqoid to serve.
+// directory, ready for progqoid to serve. It streams: each input file is
+// loaded, refactored with the -workers encode pool, and flushed before the
+// next is touched, with the manifest written last — so packing is crash-
+// safe (a killed pack leaves only ignored orphan blobs) and its memory
+// high-water mark is one variable, not the dataset. Packing into the
+// directory of a running progqoid followed by POST /v1/datasets/reload
+// publishes the dataset with zero downtime.
 func cmdPack(args []string) error {
-	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	fs := newFlagSet("pack")
 	dimsStr := fs.String("dims", "", "grid dims, e.g. 512x512")
 	methodStr := fs.String("method", "pmgard-hb", "progressive method")
 	dataset := fs.String("dataset", "", "dataset name")
 	fieldsStr := fs.String("fields", "", "comma-separated field names, one per input file")
 	storeDir := fs.String("store", "", "archive directory to write")
-	if err := fs.Parse(args); err != nil {
+	workers := fs.Int("workers", 0, "encode worker pool bound (0 = all cores, 1 = sequential; output identical)")
+	if help, err := parsed(fs, args); help || err != nil {
 		return err
 	}
 	names := strings.Split(*fieldsStr, ",")
@@ -201,32 +234,38 @@ func cmdPack(args []string) error {
 	if err != nil {
 		return err
 	}
-	fields := make([][]float64, fs.NArg())
-	for i := range fields {
-		if fields[i], err = readF64(fs.Arg(i)); err != nil {
-			return err
-		}
-	}
-	vars, err := core.RefactorVariables(names, fields, dims, core.RefactorOptions{
-		Progressive: progressive.Options{Method: method, LosslessTail: true},
-		MaskZeros:   true,
-	})
-	if err != nil {
-		return err
-	}
 	st, err := storage.NewDirStore(*storeDir)
 	if err != nil {
 		return err
 	}
-	if err := storage.WriteArchive(st, *dataset, vars); err != nil {
+	ne := 1
+	for _, d := range dims {
+		ne *= d
+	}
+	start := time.Now()
+	var rawBytes int64
+	stored, err := storage.RefactorTo(st, *dataset, names, dims, core.RefactorOptions{
+		Progressive: progressive.Options{Method: method, LosslessTail: true},
+		MaskZeros:   true,
+		Workers:     *workers,
+	}, func(i int) ([]float64, error) {
+		data, err := readF64(fs.Arg(i))
+		if err != nil {
+			return nil, err
+		}
+		if len(data) != ne {
+			return nil, fmt.Errorf("%s: %d values, want %d for dims %s", fs.Arg(i), len(data), ne, *dimsStr)
+		}
+		rawBytes += int64(len(data)) * 8
+		return data, nil
+	})
+	if err != nil {
 		return err
 	}
-	var total int64
-	for _, v := range vars {
-		total += v.Ref.TotalBytes()
-	}
-	fmt.Printf("%s: packed %d variable(s) into dataset %q (%d fragment bytes); serve with: progqoid -dir %s\n",
-		*storeDir, len(vars), *dataset, total, *storeDir)
+	elapsed := time.Since(start)
+	mbps := float64(rawBytes) / (1 << 20) / elapsed.Seconds()
+	fmt.Printf("%s: packed %d variable(s) into dataset %q (%d stored bytes) in %.2fs — %.1f MiB/s ingest; serve with: progqoid -dir %s\n",
+		*storeDir, len(names), *dataset, stored, elapsed.Seconds(), mbps, *storeDir)
 	return nil
 }
 
@@ -306,7 +345,7 @@ func cmdRetrieveRemote(ctx context.Context, remote, dataset, formula string, tol
 }
 
 func cmdRetrieve(args []string) error {
-	fs := flag.NewFlagSet("retrieve", flag.ExitOnError)
+	fs := newFlagSet("retrieve")
 	formula := fs.String("qoi", "", "QoI formula over the named fields")
 	tol := fs.Float64("tol", 0, "absolute QoI error tolerance")
 	fieldsStr := fs.String("fields", "", "comma-separated field names, one per archive")
@@ -315,7 +354,7 @@ func cmdRetrieve(args []string) error {
 	dataset := fs.String("dataset", "", "dataset name on the remote service")
 	timeout := fs.Duration("timeout", time.Duration(0), "abort the retrieval after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "print one line per retrieval iteration")
-	if err := fs.Parse(args); err != nil {
+	if help, err := parsed(fs, args); help || err != nil {
 		return err
 	}
 	ctx := context.Background()
@@ -379,8 +418,8 @@ func cmdRetrieve(args []string) error {
 // prints, per request level, the guaranteed bound next to the measured
 // error — the bound must dominate at every level.
 func cmdVerify(args []string) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	if err := fs.Parse(args); err != nil {
+	fs := newFlagSet("verify")
+	if help, err := parsed(fs, args); help || err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
@@ -438,8 +477,8 @@ func cmdVerify(args []string) error {
 }
 
 func cmdInfo(args []string) error {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	if err := fs.Parse(args); err != nil {
+	fs := newFlagSet("info")
+	if help, err := parsed(fs, args); help || err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"progqoi/internal/server"
@@ -121,6 +123,84 @@ func TestRefactorAllMethods(t *testing.T) {
 		if err := cmdVerify([]string{arch, in}); err != nil {
 			t.Fatalf("%s verify: %v", m, err)
 		}
+	}
+}
+
+// TestSubcommandFlagParseErrors: every subcommand's flag set uses
+// ContinueOnError, so an unknown or malformed flag comes back as an error
+// (testable, scriptable exit status) instead of exiting the process from
+// inside the flag package — and -h is help, not a failure.
+func TestSubcommandFlagParseErrors(t *testing.T) {
+	cmds := map[string]func([]string) error{
+		"refactor": cmdRefactor,
+		"pack":     cmdPack,
+		"retrieve": cmdRetrieve,
+		"info":     cmdInfo,
+		"verify":   cmdVerify,
+	}
+	for name, cmd := range cmds {
+		if err := cmd([]string{"-no-such-flag"}); err == nil {
+			t.Errorf("%s: unknown flag accepted", name)
+		}
+		if err := cmd([]string{"-h"}); err != nil {
+			t.Errorf("%s: -h returned %v, want nil", name, err)
+		}
+	}
+	// A malformed value for a typed flag is a parse error, not an exit.
+	if err := cmdRetrieve([]string{"-tol", "not-a-number"}); err == nil {
+		t.Error("malformed -tol accepted")
+	}
+	if err := cmdPack([]string{"-workers", "x"}); err == nil {
+		t.Error("malformed -workers accepted")
+	}
+}
+
+// TestPackWorkersIdenticalOutput drives pack's streaming ingest at both
+// pool settings and checks the archive directories are byte-identical —
+// the CLI surface of the bit-identity guarantee.
+func TestPackWorkersIdenticalOutput(t *testing.T) {
+	dir := t.TempDir()
+	inA := filepath.Join(dir, "a.f64")
+	inB := filepath.Join(dir, "b.f64")
+	writeField(t, inA, 1200)
+	writeField(t, inB, 1200)
+	storeSeq := filepath.Join(dir, "seq")
+	storePar := filepath.Join(dir, "par")
+	if err := cmdPack([]string{"-dims", "1200", "-dataset", "demo", "-fields", "A,B",
+		"-store", storeSeq, "-workers", "1", inA, inB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPack([]string{"-dims", "1200", "-dataset", "demo", "-fields", "A,B",
+		"-store", storePar, "-workers", "8", inA, inB}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(storeSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 { // manifest + two variable blobs
+		t.Fatalf("%d store entries", len(ents))
+	}
+	for _, e := range ents {
+		a, err := os.ReadFile(filepath.Join(storeSeq, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(storePar, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between -workers 1 and 8", e.Name())
+		}
+	}
+	// Wrong-size input is caught per file with the offending path named.
+	short := filepath.Join(dir, "short.f64")
+	writeField(t, short, 600)
+	err = cmdPack([]string{"-dims", "1200", "-dataset", "bad", "-fields", "S",
+		"-store", filepath.Join(dir, "bad"), short})
+	if err == nil || !strings.Contains(err.Error(), "short.f64") {
+		t.Fatalf("size mismatch error = %v", err)
 	}
 }
 

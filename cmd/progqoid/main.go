@@ -19,9 +19,19 @@
 // in-memory hot-fragment cache in front of the directory; /metrics
 // exposes serving counters in Prometheus text format.
 //
+// -admin TOKEN enables zero-downtime dataset publishing: pack a new
+// dataset into the served directory (variable blobs land first, the
+// manifest last, so a torn pack is invisible) and trigger
+//
+//	curl -X POST -H "Authorization: Bearer TOKEN" \
+//	    http://node:9123/v1/datasets/reload
+//
+// to re-scan the directory and atomically swap the serving catalog;
+// sessions already retrieving keep working throughout.
+//
 // Routes, formats and caching behaviour are documented in
-// progqoi/internal/server. Stop with SIGINT/SIGTERM; in-flight requests
-// drain before exit.
+// progqoi/internal/server and in FORMATS.md at the repository root. Stop
+// with SIGINT/SIGTERM; in-flight requests drain before exit.
 package main
 
 import (
@@ -70,10 +80,10 @@ func parsePeers(list string) ([]string, error) {
 // newServer builds the HTTP handler for one archive directory; split from
 // run so tests can drive it without a listener.
 func newServer(dir string, limit int, logRequests bool) (*server.Server, error) {
-	return newClusterServer(dir, limit, 0, "", nil, logRequests)
+	return newClusterServer(dir, limit, 0, "", nil, "", logRequests)
 }
 
-func newClusterServer(dir string, limit int, cacheBytes int64, advertise string, peers []string, logRequests bool) (*server.Server, error) {
+func newClusterServer(dir string, limit int, cacheBytes int64, advertise string, peers []string, adminToken string, logRequests bool) (*server.Server, error) {
 	st, err := storage.NewDirStore(dir)
 	if err != nil {
 		return nil, err
@@ -83,6 +93,7 @@ func newClusterServer(dir string, limit int, cacheBytes int64, advertise string,
 		HotCacheBytes: cacheBytes,
 		Advertise:     advertise,
 		Peers:         peers,
+		AdminToken:    adminToken,
 		LogRequests:   logRequests,
 	})
 }
@@ -95,6 +106,7 @@ func run(args []string) error {
 	cache := fs.Int64("cache", server.DefaultHotCacheBytes, "hot-fragment cache bound in bytes (negative disables)")
 	advertise := fs.String("advertise", "", "this node's public base URL, reported at /v1/cluster")
 	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster nodes, reported at /v1/cluster")
+	admin := fs.String("admin", "", "admin token enabling hot publish via POST /v1/datasets/reload (empty disables)")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -115,7 +127,7 @@ func run(args []string) error {
 			return fmt.Errorf("-advertise: %w", err)
 		}
 	}
-	srv, err := newClusterServer(*dir, *limit, *cache, *advertise, peerURLs, *verbose)
+	srv, err := newClusterServer(*dir, *limit, *cache, *advertise, peerURLs, *admin, *verbose)
 	if err != nil {
 		return err
 	}
@@ -123,8 +135,8 @@ func run(args []string) error {
 	if len(names) == 0 {
 		log.Printf("progqoid: warning: no datasets (no *.manifest keys) under %s", *dir)
 	}
-	log.Printf("progqoid: serving %d dataset(s) %v from %s on %s (limit %d, %d peer(s))",
-		len(names), names, *dir, *addr, *limit, len(peerURLs))
+	log.Printf("progqoid: serving %d dataset(s) %v from %s on %s (limit %d, %d peer(s), hot publish %s)",
+		len(names), names, *dir, *addr, *limit, len(peerURLs), map[bool]string{true: "on", false: "off"}[*admin != ""])
 
 	// ReadHeaderTimeout keeps a slow-loris peer from pinning a connection
 	// forever; fragment bodies themselves are never read by the server.

@@ -103,7 +103,7 @@ func TestParsePeers(t *testing.T) {
 func TestClusterFlagsReachClusterEndpoint(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "arch")
 	writeArchiveDir(t, dir)
-	srv, err := newClusterServer(dir, 8, 0, "http://me:9123", []string{"http://peer:9123"}, false)
+	srv, err := newClusterServer(dir, 8, 0, "http://me:9123", []string{"http://peer:9123"}, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,6 +121,45 @@ func TestClusterFlagsReachClusterEndpoint(t *testing.T) {
 	}
 	if info.Advertise != "http://me:9123" || len(info.Peers) != 1 || info.Peers[0] != "http://peer:9123" {
 		t.Fatalf("cluster info = %+v", info)
+	}
+}
+
+// TestAdminFlagEnablesReload: the -admin token plumbs through to the hot-
+// publish route; without it the route stays disabled.
+func TestAdminFlagEnablesReload(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	writeArchiveDir(t, dir)
+	reload := func(srv *server.Server, token string) int {
+		hs := httptest.NewServer(srv)
+		defer hs.Close()
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/datasets/reload", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	off, err := newClusterServer(dir, 8, 0, "", nil, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := reload(off, "tok"); code != http.StatusForbidden {
+		t.Fatalf("reload without -admin: %d", code)
+	}
+	on, err := newClusterServer(dir, 8, 0, "", nil, "tok", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := reload(on, "tok"); code != http.StatusOK {
+		t.Fatalf("reload with -admin: %d", code)
 	}
 }
 

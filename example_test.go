@@ -4,12 +4,18 @@ package progqoi_test
 // checks the printed output, so the documentation cannot rot.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
 	"math"
+	"net/http/httptest"
 
 	"progqoi"
+	"progqoi/internal/core"
+	"progqoi/internal/progressive"
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
 )
 
 func demo3Fields(n int) ([]string, [][]float64) {
@@ -105,6 +111,108 @@ func ExampleSession_Do() {
 	// certified: true
 	// progress streamed: true
 	// region bound tight: true
+}
+
+// Example_packAndServe is the producer-to-server vertical: pack fields
+// into a store with the streaming parallel ingest, serve the store with
+// the fragment service, publish a second dataset to the running server
+// with one admin reload, and retrieve both over the wire. This is exactly
+// what `progqoi pack` + `progqoid -admin` + `POST /v1/datasets/reload` do
+// across processes.
+func Example_packAndServe() {
+	names, fields := demo3Fields(2048)
+	st := storage.NewMemStore()
+	opt := core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+	}
+	if _, err := storage.RefactorTo(st, "alpha", names, []int{2048}, opt,
+		func(i int) ([]float64, error) { return fields[i], nil }); err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(st, server.Options{AdminToken: "token"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	ctx := context.Background()
+
+	arch, err := progqoi.OpenRemote(ctx, hs.URL, "alpha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := arch.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vtot := progqoi.TotalVelocity(0, 1, 2)
+	res, err := sess.Do(ctx, progqoi.Request{Targets: []progqoi.Target{{QoI: vtot, Tolerance: 1e-3}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alpha certified over the wire:", res.ToleranceMet)
+
+	// Publish a second dataset to the live server: pack, then reload.
+	if _, err := storage.RefactorTo(st, "beta", names, []int{2048}, opt,
+		func(i int) ([]float64, error) { return fields[i], nil }); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := srv.Reload(); err != nil { // over HTTP: POST /v1/datasets/reload
+		log.Fatal(err)
+	}
+	fmt.Println("served after hot publish:", srv.Datasets())
+	// Output:
+	// alpha certified over the wire: true
+	// served after hot publish: [alpha beta]
+}
+
+// Example_streamingIngest shows the bounded-memory producer path:
+// storage.RefactorTo loads, refactors and flushes one variable at a time
+// (manifest last, so a crash mid-pack publishes nothing) and its store
+// contents are byte-identical to the in-memory Refactor + WriteArchive
+// pipeline — at any worker-pool setting.
+func Example_streamingIngest() {
+	names, fields := demo3Fields(2048)
+	opt := core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+	}
+
+	// In-memory reference: refactor everything, then write.
+	vars, err := core.RefactorVariables(names, fields, []int{2048}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := storage.NewMemStore()
+	if err := storage.WriteArchive(ref, "demo", vars); err != nil {
+		log.Fatal(err)
+	}
+
+	// Streaming: one variable resident at a time, parallel encode pool.
+	streamed := storage.NewMemStore()
+	opt.Workers = 8
+	loaded := 0
+	if _, err := storage.RefactorTo(streamed, "demo", names, []int{2048}, opt,
+		func(i int) ([]float64, error) { loaded++; return fields[i], nil }); err != nil {
+		log.Fatal(err)
+	}
+
+	identical := true
+	keys, _ := ref.Keys()
+	for _, k := range keys {
+		a, _ := ref.Get(k)
+		b, err := streamed.Get(k)
+		if err != nil || !bytes.Equal(a, b) {
+			identical = false
+		}
+	}
+	fmt.Println("fields loaded one at a time:", loaded == len(fields))
+	fmt.Println("store byte-identical to Refactor+WriteArchive:", identical)
+	// Output:
+	// fields loaded one at a time: true
+	// store byte-identical to Refactor+WriteArchive: true
 }
 
 // ExampleSession_Retrieve shows incremental tightening: the second request

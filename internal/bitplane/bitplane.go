@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"progqoi/internal/encoding"
 )
@@ -44,13 +46,78 @@ type Block struct {
 // Encode slices vals into numPlanes bit planes. numPlanes ≤ 62; values must
 // be finite. An all-zero block encodes to zero-length planes.
 func Encode(vals []float64, numPlanes int) (*Block, error) {
+	blocks, err := EncodeAll([][]float64{vals}, numPlanes, 1)
+	if err != nil {
+		return nil, err
+	}
+	return blocks[0], nil
+}
+
+// EncodeAll encodes several coefficient groups at once, scheduling the
+// per-plane slicing and compression of every group over one bounded pool
+// of workers goroutines (≤ 1 selects the sequential path). Each fragment
+// is sliced and compressed independently, so the output blocks are
+// bit-identical to calling Encode per group — only the schedule changes.
+// This is the encode-side mirror of the Reader's decode pool.
+func EncodeAll(groups [][]float64, numPlanes, workers int) ([]*Block, error) {
 	if numPlanes <= 0 || numPlanes > 62 {
 		return nil, fmt.Errorf("bitplane: numPlanes %d outside (0,62]", numPlanes)
 	}
+	blocks := make([]*Block, len(groups))
+	mags := make([][]uint64, len(groups))
+	signs := make([][]byte, len(groups))
+	errs := make([]error, len(groups))
+	// Stage 1: per-group fixed-point conversion (exponent, magnitudes,
+	// sign bitmap).
+	runTasks(workers, len(groups), func(gi int) {
+		blocks[gi], mags[gi], signs[gi], errs[gi] = prepare(groups[gi], numPlanes)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Stage 2: one task per stored fragment — the sign bitmap and every
+	// magnitude plane of every non-zero group — over the same pool. Each
+	// task writes only its own slot, so the merge is deterministic.
+	type task struct{ gi, p int } // p == -1 is the sign fragment
+	var tasks []task
+	for gi, blk := range blocks {
+		if blk.Exp == math.MinInt32 {
+			continue // all-zero block: no fragments at all
+		}
+		blk.Planes = make([][]byte, numPlanes)
+		tasks = append(tasks, task{gi, -1})
+		for p := 0; p < numPlanes; p++ {
+			tasks = append(tasks, task{gi, p})
+		}
+	}
+	terrs := make([]error, len(tasks))
+	runTasks(workers, len(tasks), func(ti int) {
+		t := tasks[ti]
+		blk := blocks[t.gi]
+		if t.p < 0 {
+			blk.Signs, terrs[ti] = compressFragment(signs[t.gi])
+			return
+		}
+		blk.Planes[t.p], terrs[ti] = slicePlane(mags[t.gi], blk.N, numPlanes, t.p)
+	})
+	for _, err := range terrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return blocks, nil
+}
+
+// prepare runs the sequential head of the encode: validation, shared
+// exponent, fixed-point magnitudes and the raw sign bitmap. All-zero (or
+// empty) groups come back with Exp = math.MinInt32 and nil magnitudes.
+func prepare(vals []float64, numPlanes int) (*Block, []uint64, []byte, error) {
 	maxAbs := 0.0
 	for _, v := range vals {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, ErrBadInput
+			return nil, nil, nil, ErrBadInput
 		}
 		if a := math.Abs(v); a > maxAbs {
 			maxAbs = a
@@ -59,7 +126,7 @@ func Encode(vals []float64, numPlanes int) (*Block, error) {
 	b := &Block{N: len(vals), B: numPlanes}
 	if len(vals) == 0 || maxAbs == 0 {
 		b.Exp = math.MinInt32 // marks the all-zero block; Bound() treats it as 0
-		return b, nil
+		return b, nil, nil, nil
 	}
 	// Choose e with maxAbs < 2^e (frexp: maxAbs = f·2^exp, f ∈ [0.5,1)).
 	_, exp := math.Frexp(maxAbs)
@@ -80,27 +147,51 @@ func Encode(vals []float64, numPlanes int) (*Block, error) {
 		}
 		mags[i] = m
 	}
-	var err error
-	b.Signs, err = compressFragment(signBits)
-	if err != nil {
-		return nil, err
+	return b, mags, signBits, nil
+}
+
+// slicePlane extracts plane p (MSB-first) of the fixed-point magnitudes as
+// a bitmap and compresses it. Pure function of its arguments, so plane
+// tasks can run on any goroutine in any order.
+func slicePlane(mags []uint64, n, numPlanes, p int) ([]byte, error) {
+	bit := uint(numPlanes - 1 - p)
+	raw := make([]byte, (n+7)/8)
+	for i, m := range mags {
+		if m>>bit&1 == 1 {
+			raw[i/8] |= 1 << uint(i%8)
+		}
 	}
-	// Slice planes MSB-first.
-	b.Planes = make([][]byte, numPlanes)
-	for p := 0; p < numPlanes; p++ {
-		bit := uint(numPlanes - 1 - p)
-		raw := make([]byte, (len(vals)+7)/8)
-		for i, m := range mags {
-			if m>>bit&1 == 1 {
-				raw[i/8] |= 1 << uint(i%8)
+	return compressFragment(raw)
+}
+
+// runTasks runs fn(0..n-1) on up to workers goroutines, handing out indices
+// from an atomic counter. workers ≤ 1 (or a single task) runs inline.
+func runTasks(workers, n int, fn func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
 			}
-		}
-		b.Planes[p], err = compressFragment(raw)
-		if err != nil {
-			return nil, err
-		}
+		}()
 	}
-	return b, nil
+	wg.Wait()
 }
 
 // Bound returns the guaranteed L∞ reconstruction error after applying the

@@ -55,6 +55,13 @@ type RefactorOptions struct {
 	Progressive progressive.Options
 	// MaskZeros enables the outlier mask for points that are exactly zero.
 	MaskZeros bool
+	// Workers bounds the refactor compute pool (default GOMAXPROCS), the
+	// ingest-side mirror of Config.Workers: variables refactor concurrently
+	// and the per-bitplane encode stages within each variable share the
+	// same budget (Progressive.Workers is derived from it; set it only to
+	// override the split). 1 selects the fully sequential path; the
+	// refactored output is bit-identical for every setting.
+	Workers int
 }
 
 // RefactorVariables runs Algorithm 1: refactor every field into progressive
@@ -63,10 +70,26 @@ func RefactorVariables(names []string, fields [][]float64, dims []int, opt Refac
 	if len(names) != len(fields) {
 		return nil, fmt.Errorf("core: %d names for %d fields", len(names), len(fields))
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Progressive.Workers == 0 {
+		// Split the one Workers budget between the concurrently refactoring
+		// variables so the per-variable encode pools don't multiply into
+		// Workers² goroutines — the same split Retriever.advance applies on
+		// the decode side. The split changes nothing observable: encode
+		// output is schedule-independent.
+		share := workers
+		if n := len(fields); n > 1 {
+			share = (workers + n - 1) / n
+		}
+		opt.Progressive.Workers = share
+	}
 	vars := make([]*Variable, len(fields))
 	errs := make([]error, len(fields))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, workers)
 	for i := range fields {
 		wg.Add(1)
 		go func(i int) {

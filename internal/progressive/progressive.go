@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"progqoi/internal/bitplane"
 	"progqoi/internal/encoding"
@@ -88,11 +89,21 @@ type Options struct {
 	// LosslessTail appends a bit-exact final fragment to snapshot methods
 	// so any tolerance can be met (default true).
 	LosslessTail bool
+	// Workers bounds the encode worker pool (default GOMAXPROCS): PMGARD
+	// methods pool-schedule the per-(group, plane) slicing and compression,
+	// and PSZ3 compresses its independent snapshots concurrently. 1 selects
+	// the fully sequential path; the refactored output is bit-identical
+	// either way. PSZ3-Delta stays sequential regardless — each snapshot
+	// compresses the residual of the previous reconstruction.
+	Workers int
 }
 
 func (o Options) withDefaults(dataRange float64) Options {
 	if o.Planes == 0 {
 		o.Planes = bitplane.DefaultPlanes
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if len(o.SnapshotEBs) == 0 {
 		base := dataRange
@@ -213,44 +224,65 @@ func refactorSnapshots(data []float64, g *grid.Grid, opt Options) (*Refactored, 
 		HasTail:     opt.LosslessTail,
 	}
 	delta := opt.Method == PSZ3Delta
-	target := data
-	recon := make([]float64, len(data))
-	for _, eb := range opt.SnapshotEBs {
-		if delta {
-			residual := make([]float64, len(data))
-			for i := range residual {
-				residual[i] = data[i] - recon[i]
+	if !delta {
+		// PSZ3 snapshots are independent compressions of the same data, so
+		// they (and the lossless tail) schedule onto one bounded pool. Each
+		// task writes only its own slot; assembly below is in preset order,
+		// so the fragment stream is bit-identical to the sequential path.
+		nfrag := len(opt.SnapshotEBs)
+		if opt.LosslessTail {
+			nfrag++
+		}
+		frags := make([][]byte, nfrag)
+		errs := make([]error, nfrag)
+		runPool(opt.Workers, nfrag, func(i int) bool {
+			if i == len(opt.SnapshotEBs) {
+				frags[i] = encodeLossless(data)
+				return true
 			}
-			target = residual
-		}
-		buf, err := sz.Compress(target, g, eb)
-		if err != nil {
-			return nil, err
-		}
-		if delta {
-			dec, _, _, err := sz.Decompress(buf)
+			frags[i], errs[i] = sz.Compress(data, g, opt.SnapshotEBs[i])
+			return true
+		})
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			for i := range recon {
-				recon[i] += dec[i]
-			}
+		}
+		r.Fragments = frags
+		r.PrefixBounds = append(r.PrefixBounds, opt.SnapshotEBs...)
+		if opt.LosslessTail {
+			r.PrefixBounds = append(r.PrefixBounds, 0)
+		}
+		return r, nil
+	}
+	// PSZ3-Delta is inherently sequential: every snapshot compresses the
+	// residual of the reconstruction so far.
+	recon := make([]float64, len(data))
+	for _, eb := range opt.SnapshotEBs {
+		residual := make([]float64, len(data))
+		for i := range residual {
+			residual[i] = data[i] - recon[i]
+		}
+		buf, err := sz.Compress(residual, g, eb)
+		if err != nil {
+			return nil, err
+		}
+		dec, _, _, err := sz.Decompress(buf)
+		if err != nil {
+			return nil, err
+		}
+		for i := range recon {
+			recon[i] += dec[i]
 		}
 		r.Fragments = append(r.Fragments, buf)
 		r.PrefixBounds = append(r.PrefixBounds, eb)
 	}
 	if opt.LosslessTail {
-		var tail []byte
-		if delta {
-			residual := make([]float64, len(data))
-			for i := range residual {
-				residual[i] = data[i] - recon[i]
-			}
-			tail = encodeLossless(residual)
-		} else {
-			tail = encodeLossless(data)
+		residual := make([]float64, len(data))
+		for i := range residual {
+			residual[i] = data[i] - recon[i]
 		}
-		r.Fragments = append(r.Fragments, tail)
+		r.Fragments = append(r.Fragments, encodeLossless(residual))
 		r.PrefixBounds = append(r.PrefixBounds, 0)
 	}
 	return r, nil
@@ -314,15 +346,18 @@ func refactorMultilevel(data []float64, g *grid.Grid, opt Options) (*Refactored,
 		size    int
 		benefit float64 // weighted bound reduction
 	}
-	// Encode each group and collect candidate fragments.
+	// Encode each group, pool-scheduling every (group, plane) compression
+	// over the Workers budget; the greedy schedule below then walks the
+	// finished blocks sequentially, so fragment order — and every byte —
+	// matches the sequential encode.
 	perGroupNext := make([]int, nGroups)
-	blocks := make([]*bitplane.Block, nGroups)
+	groups := make([][]float64, nGroups)
 	for gi := 0; gi < nGroups; gi++ {
-		blk, err := bitplane.Encode(dec.Group(gi), opt.Planes)
-		if err != nil {
-			return nil, err
-		}
-		blocks[gi] = blk
+		groups[gi] = dec.Group(gi)
+	}
+	blocks, err := bitplane.EncodeAll(groups, opt.Planes, opt.Workers)
+	if err != nil {
+		return nil, err
 	}
 	// Current per-group applied plane counts and running bound. The bound
 	// carries a floating-point slack of scale·2⁻⁴⁶ (≈64 ulp) on top of the

@@ -1,0 +1,60 @@
+package progressive
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestRefactorParallelBitIdentical is the ingest-side determinism
+// guarantee: for every method, refactoring with a worker pool produces a
+// marshalled representation byte-identical to the sequential path.
+func TestRefactorParallelBitIdentical(t *testing.T) {
+	n := 6000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 40*math.Sin(float64(i)/60) + 3*math.Cos(float64(i)/7)
+	}
+	// A few exact zeros so sign/plane slicing sees them.
+	for i := 0; i < n; i += 997 {
+		data[i] = 0
+	}
+	for _, method := range []Method{PSZ3, PSZ3Delta, PMGARD, PMGARDHB} {
+		base, err := Refactor(data, []int{n}, Options{Method: method, LosslessTail: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", method, err)
+		}
+		want := base.Marshal()
+		for _, workers := range []int{2, 4, 16} {
+			ref, err := Refactor(data, []int{n}, Options{Method: method, LosslessTail: true, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", method, workers, err)
+			}
+			if !bytes.Equal(want, ref.Marshal()) {
+				t.Fatalf("%s workers=%d: representation differs from sequential", method, workers)
+			}
+		}
+	}
+}
+
+// TestRefactorDefaultWorkers checks the default resolves to a parallel
+// pool without changing the representation (spot check against 2-D grids,
+// where PMGARD has many groups to schedule).
+func TestRefactorDefaultWorkers(t *testing.T) {
+	n := 64 * 48
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 11)
+	}
+	seq, err := Refactor(data, []int{64, 48}, Options{Method: PMGARDHB, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Refactor(data, []int{64, 48}, Options{Method: PMGARDHB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Marshal(), def.Marshal()) {
+		t.Fatal("default-workers representation differs from sequential")
+	}
+}

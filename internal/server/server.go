@@ -8,6 +8,7 @@
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /v1/cluster                  static cluster topology (advertise + peers)
 //	GET  /v1/datasets                 served dataset names (JSON)
+//	POST /v1/datasets/reload          hot-publish: re-scan the store (admin-gated)
 //	GET  /v1/d/{ds}/index             dataset index: variables + fragment sizes
 //	GET  /v1/d/{ds}/meta              retrieval metadata blob (binary, CRC)
 //	GET  /v1/d/{ds}/frag/{var}/{idx}  one immutable fragment (ETag, 304)
@@ -23,6 +24,23 @@
 // while queued on the semaphore returns 503 without consuming a slot, and
 // a batch abandoned mid-assembly stops with 499 instead of encoding bytes
 // nobody will read.
+//
+// # Live publishing
+//
+// The served dataset set is an immutable catalog snapshot swapped
+// atomically: POST /v1/datasets/reload (enabled by Options.AdminToken,
+// presented as a Bearer token) re-scans the store with the same
+// validation startup applies and installs a fresh catalog in one pointer
+// swap. Requests in flight keep the snapshot they resolved, and datasets
+// whose stored bytes are unchanged are carried into the new catalog
+// verbatim — same object, same cache generation — so publishing new
+// datasets never interrupts sessions retrieving existing ones. A
+// *republished* dataset (same name, new bytes) is a new incarnation with
+// new ETags: sessions opened against its predecessor must be reopened. A
+// failed reload leaves the serving catalog untouched. Datasets are
+// published crash-safely by writing variable blobs first and the
+// manifest last (storage.ArchiveWriter), so a packer killed mid-publish
+// leaves only ignored orphan blobs.
 //
 // # Memory model
 //
@@ -40,6 +58,7 @@ package server
 import (
 	"bytes"
 	"compress/gzip"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -90,22 +109,46 @@ type Options struct {
 	LogRequests bool
 	// Logger receives request logs (default log.Default()).
 	Logger *log.Logger
+	// AdminToken enables the admin surface (POST /v1/datasets/reload) when
+	// non-empty: requests must present it as "Authorization: Bearer
+	// <token>". Empty keeps the admin routes disabled (403) — hot publish
+	// is opt-in per node.
+	AdminToken string
 }
 
 // dataset is one loaded archive with its precomputed wire artifacts.
-// Fragment payloads are dropped after startup; fragLocs locates each one
-// inside its variable's store blob for on-demand ranged reads.
+// Fragment payloads are dropped after loading; fragLocs locates each one
+// inside its variable's store blob for on-demand ranged reads. A dataset
+// is immutable once loaded: hot publish builds new datasets and swaps the
+// catalog that maps names to them.
 type dataset struct {
-	name     string
-	vars     []*core.Variable // metadata only: fragment payloads dropped
-	varIdx   map[string]int
-	index    []byte // JSON Index
-	indexTag string
-	meta     []byte // EncodeMeta blob
-	metaTag  string
-	fragTags [][]string
-	varKeys  []string
-	fragLocs [][]storage.FragmentRange
+	name string
+	// gen is the catalog load generation that produced this dataset; it
+	// prefixes hot-cache keys so a republished dataset can never be served
+	// stale fragment bytes cached under its previous incarnation.
+	gen int64
+	// fingerprint identifies the dataset's stored bytes (manifest + every
+	// variable blob). Reload reuses the previous incarnation verbatim —
+	// same object, same gen, same warm cache slice — when it matches.
+	fingerprint string
+	vars        []*core.Variable // metadata only: fragment payloads dropped
+	varIdx      map[string]int
+	index       []byte // JSON Index
+	indexTag    string
+	meta        []byte // EncodeMeta blob
+	metaTag     string
+	fragTags    [][]string
+	varKeys     []string
+	fragLocs    [][]storage.FragmentRange
+}
+
+// catalog is one immutable snapshot of the served datasets. Handlers load
+// it once per request; Reload installs a replacement with a single atomic
+// pointer swap, so in-flight requests (and remote sessions that planned
+// against the old metadata) keep working against the snapshot they saw.
+type catalog struct {
+	datasets map[string]*dataset
+	names    []string // sorted
 }
 
 // Stats is a snapshot of serving counters, exposed at /healthz. The
@@ -126,6 +169,18 @@ type Stats struct {
 	HotCacheHits      int64 `json:"hotCacheHits"`
 	HotCacheMisses    int64 `json:"hotCacheMisses"`
 	HotCacheEvictions int64 `json:"hotCacheEvictions"`
+	// Hot-publish counters (see POST /v1/datasets/reload).
+	Reloads        int64 `json:"reloads"`
+	ReloadFailures int64 `json:"reloadFailures"`
+	DatasetsLoaded int64 `json:"datasetsLoaded"`
+}
+
+// ReloadResult reports one successful hot publish: the dataset names now
+// served and the delta against the previous catalog.
+type ReloadResult struct {
+	Datasets []string `json:"datasets"`
+	Added    []string `json:"added"`
+	Removed  []string `json:"removed"`
 }
 
 // ClusterInfo is the /v1/cluster payload: the static topology a daemon was
@@ -136,18 +191,22 @@ type ClusterInfo struct {
 }
 
 // routeLabels names the per-route request counters in /metrics order.
-var routeLabels = []string{"healthz", "metrics", "cluster", "datasets", "index", "meta", "frag", "frags", "store"}
+var routeLabels = []string{"healthz", "metrics", "cluster", "datasets", "reload", "index", "meta", "frag", "frags", "store"}
 
 // Server is an http.Handler serving every archive found in a storage.Store.
 type Server struct {
-	store    storage.Store
-	opts     Options
-	mux      *http.ServeMux
-	sem      chan struct{}
-	datasets map[string]*dataset
-	names    []string
-	start    time.Time
-	hot      *hotCache
+	store storage.Store
+	opts  Options
+	mux   *http.ServeMux
+	sem   chan struct{}
+	cat   atomic.Pointer[catalog]
+	gen   atomic.Int64 // dataset load generations (hot-cache key prefix)
+	start time.Time
+	hot   *hotCache
+
+	// reloadMu serializes hot publishes; readers never take it — they see
+	// either the old or the new catalog via the atomic pointer.
+	reloadMu sync.Mutex
 
 	// The limiter counters share one mutex so /healthz and /metrics
 	// snapshot them consistently (inflight can never read above maxSeen).
@@ -156,18 +215,22 @@ type Server struct {
 	inflight int64
 	maxSeen  int64
 
-	fragBytes   atomic.Int64
-	fragsServed atomic.Int64
-	batchReqs   atomic.Int64
-	batchFrags  atomic.Int64
-	routeReqs   [9]atomic.Int64 // indexed like routeLabels
+	fragBytes      atomic.Int64
+	fragsServed    atomic.Int64
+	batchReqs      atomic.Int64
+	batchFrags     atomic.Int64
+	reloads        atomic.Int64
+	reloadFailures atomic.Int64
+	datasetsLoaded atomic.Int64
+	routeReqs      [10]atomic.Int64 // indexed like routeLabels
 }
 
 // New scans st for archives (keys ending in ".manifest", as written by
 // storage.WriteArchive) and builds a server over all of them. Each archive
 // is loaded once to precompute wire artifacts and fragment offsets, then
 // its payloads are dropped: steady-state reads go through the hot cache in
-// front of the store.
+// front of the store. Reload repeats the scan later with the same
+// validation, swapping the catalog atomically.
 func New(st storage.Store, opt Options) (*Server, error) {
 	if opt.MaxInflight <= 0 {
 		opt.MaxInflight = DefaultMaxInflight
@@ -180,82 +243,25 @@ func New(st storage.Store, opt Options) (*Server, error) {
 	if opt.Logger == nil {
 		opt.Logger = log.Default()
 	}
-	keys, err := st.Keys()
-	if err != nil {
-		return nil, fmt.Errorf("server: list store: %w", err)
-	}
 	s := &Server{
-		store:    st,
-		opts:     opt,
-		sem:      make(chan struct{}, opt.MaxInflight),
-		datasets: map[string]*dataset{},
-		start:    time.Now(),
-		hot:      newHotCache(opt.HotCacheBytes),
+		store: st,
+		opts:  opt,
+		sem:   make(chan struct{}, opt.MaxInflight),
+		start: time.Now(),
+		hot:   newHotCache(opt.HotCacheBytes),
 	}
-	for _, k := range keys {
-		name, ok := strings.CutSuffix(k, ".manifest")
-		if !ok {
-			continue
-		}
-		vars, err := storage.ReadArchive(st, name)
-		if err != nil {
-			return nil, fmt.Errorf("server: load dataset %q: %w", name, err)
-		}
-		ds := &dataset{name: name, vars: vars, varIdx: map[string]int{}}
-		idx, err := json.Marshal(BuildIndex(name, vars))
-		if err != nil {
-			return nil, err
-		}
-		ds.index, ds.indexTag = idx, etag(idx)
-		ds.meta = EncodeMeta(vars)
-		ds.metaTag = etag(ds.meta)
-		ds.fragTags = make([][]string, len(vars))
-		ds.varKeys = make([]string, len(vars))
-		ds.fragLocs = make([][]storage.FragmentRange, len(vars))
-		for vi, v := range vars {
-			ds.varIdx[v.Name] = vi
-			tags := make([]string, len(v.Ref.Fragments))
-			for fi, f := range v.Ref.Fragments {
-				tags[fi] = etag(f)
-			}
-			ds.fragTags[vi] = tags
-			key := storage.VarKey(name, v.Name)
-			raw, err := st.Get(key)
-			if err != nil {
-				return nil, fmt.Errorf("server: locate fragments of %s/%s: %w", name, v.Name, err)
-			}
-			locs, err := storage.VariableFragmentRanges(raw)
-			if err != nil {
-				return nil, fmt.Errorf("server: locate fragments of %s/%s: %w", name, v.Name, err)
-			}
-			if len(locs) != len(v.Ref.Fragments) {
-				return nil, fmt.Errorf("server: %s/%s: %d fragment ranges for %d fragments",
-					name, v.Name, len(locs), len(v.Ref.Fragments))
-			}
-			for fi, loc := range locs {
-				if loc.Len != int64(len(v.Ref.Fragments[fi])) {
-					return nil, fmt.Errorf("server: %s/%s/%d: range length %d, fragment %d",
-						name, v.Name, fi, loc.Len, len(v.Ref.Fragments[fi]))
-				}
-			}
-			ds.varKeys[vi] = key
-			ds.fragLocs[vi] = locs
-			// Startup is the only time the whole variable is resident:
-			// drop the payloads now that the index, ETags and offsets are
-			// recorded. Serving pulls them back through the hot cache.
-			for fi := range v.Ref.Fragments {
-				v.Ref.Fragments[fi] = nil
-			}
-		}
-		s.datasets[name] = ds
-		s.names = append(s.names, name)
+	cat, err := s.loadCatalog(nil)
+	if err != nil {
+		return nil, err
 	}
-	sort.Strings(s.names)
+	s.cat.Store(cat)
+	s.datasetsLoaded.Add(int64(len(cat.names)))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/cluster", s.counted("cluster", s.handleCluster))
 	s.mux.HandleFunc("GET /v1/datasets", s.counted("datasets", s.handleDatasets))
+	s.mux.HandleFunc("POST /v1/datasets/reload", s.counted("reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/d/{ds}/index", s.counted("index", s.handleIndex))
 	s.mux.HandleFunc("GET /v1/d/{ds}/meta", s.counted("meta", s.handleMeta))
 	s.mux.HandleFunc("GET /v1/d/{ds}/frag/{vr}/{idx}", s.counted("frag", s.handleFragment))
@@ -263,6 +269,142 @@ func New(st storage.Store, opt Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/store/keys", s.counted("store", s.handleStoreKeys))
 	s.mux.HandleFunc("GET /v1/store/blob/{key}", s.counted("store", s.handleStoreBlob))
 	return s, nil
+}
+
+// loadCatalog scans the store and loads every archive into a fresh catalog
+// snapshot. Any invalid dataset fails the whole load — a reload must be
+// all-or-nothing so a torn or corrupt publish can never evict the healthy
+// catalog already being served. prev (nil at startup) is the catalog being
+// replaced: a dataset whose stored bytes are unchanged is carried over
+// verbatim, keeping its cache generation warm and its identity stable for
+// sessions mid-retrieval.
+func (s *Server) loadCatalog(prev *catalog) (*catalog, error) {
+	keys, err := s.store.Keys()
+	if err != nil {
+		return nil, fmt.Errorf("server: list store: %w", err)
+	}
+	cat := &catalog{datasets: map[string]*dataset{}}
+	for _, k := range keys {
+		name, ok := strings.CutSuffix(k, ".manifest")
+		if !ok {
+			continue
+		}
+		var old *dataset
+		if prev != nil {
+			old = prev.datasets[name]
+		}
+		ds, err := s.loadDataset(name, old)
+		if err != nil {
+			return nil, err
+		}
+		cat.datasets[name] = ds
+		cat.names = append(cat.names, name)
+	}
+	sort.Strings(cat.names)
+	return cat, nil
+}
+
+// loadDataset loads one archive and precomputes its wire artifacts,
+// dropping fragment payloads once their ETags and byte offsets are
+// recorded. The archive is always re-validated in full (startup-equivalent
+// checks); but when its stored bytes fingerprint the same as prev, prev is
+// returned instead of the rebuild, so an unchanged dataset keeps its load
+// generation — and with it the hot-cache slice and the object identity
+// in-flight retrievals depend on.
+func (s *Server) loadDataset(name string, prev *dataset) (*dataset, error) {
+	mraw, err := s.store.Get(name + ".manifest")
+	if err != nil {
+		return nil, fmt.Errorf("server: load dataset %q: %w", name, err)
+	}
+	fingerprint := etag(mraw)
+	vars, err := storage.ReadArchive(s.store, name)
+	if err != nil {
+		return nil, fmt.Errorf("server: load dataset %q: %w", name, err)
+	}
+	ds := &dataset{name: name, gen: s.gen.Add(1), vars: vars, varIdx: map[string]int{}}
+	idx, err := json.Marshal(BuildIndex(name, vars))
+	if err != nil {
+		return nil, err
+	}
+	ds.index, ds.indexTag = idx, etag(idx)
+	ds.meta = EncodeMeta(vars)
+	ds.metaTag = etag(ds.meta)
+	ds.fragTags = make([][]string, len(vars))
+	ds.varKeys = make([]string, len(vars))
+	ds.fragLocs = make([][]storage.FragmentRange, len(vars))
+	for vi, v := range vars {
+		ds.varIdx[v.Name] = vi
+		tags := make([]string, len(v.Ref.Fragments))
+		for fi, f := range v.Ref.Fragments {
+			tags[fi] = etag(f)
+		}
+		ds.fragTags[vi] = tags
+		key := storage.VarKey(name, v.Name)
+		raw, err := s.store.Get(key)
+		if err != nil {
+			return nil, fmt.Errorf("server: locate fragments of %s/%s: %w", name, v.Name, err)
+		}
+		locs, err := storage.VariableFragmentRanges(raw)
+		if err != nil {
+			return nil, fmt.Errorf("server: locate fragments of %s/%s: %w", name, v.Name, err)
+		}
+		if len(locs) != len(v.Ref.Fragments) {
+			return nil, fmt.Errorf("server: %s/%s: %d fragment ranges for %d fragments",
+				name, v.Name, len(locs), len(v.Ref.Fragments))
+		}
+		for fi, loc := range locs {
+			if loc.Len != int64(len(v.Ref.Fragments[fi])) {
+				return nil, fmt.Errorf("server: %s/%s/%d: range length %d, fragment %d",
+					name, v.Name, fi, loc.Len, len(v.Ref.Fragments[fi]))
+			}
+		}
+		ds.varKeys[vi] = key
+		ds.fragLocs[vi] = locs
+		fingerprint += "/" + etag(raw)
+		// Loading is the only time the whole variable is resident: drop
+		// the payloads now that the index, ETags and offsets are recorded.
+		// Serving pulls them back through the hot cache.
+		for fi := range v.Ref.Fragments {
+			v.Ref.Fragments[fi] = nil
+		}
+	}
+	ds.fingerprint = fingerprint
+	if prev != nil && prev.fingerprint == fingerprint {
+		return prev, nil
+	}
+	return ds, nil
+}
+
+// Reload re-scans the store with startup-equivalent validation and
+// atomically swaps the serving catalog. Datasets whose stored bytes are
+// unchanged are carried over verbatim (same generation, warm cache);
+// changed or new ones load under fresh cache generations. On any error
+// the old catalog stays installed and the failure is counted. Concurrent
+// Reloads serialize.
+func (s *Server) Reload() (ReloadResult, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.cat.Load()
+	cat, err := s.loadCatalog(old)
+	if err != nil {
+		s.reloadFailures.Add(1)
+		return ReloadResult{}, err
+	}
+	s.cat.Store(cat)
+	s.reloads.Add(1)
+	s.datasetsLoaded.Add(int64(len(cat.names)))
+	res := ReloadResult{Datasets: append([]string(nil), cat.names...), Added: []string{}, Removed: []string{}}
+	for _, n := range cat.names {
+		if old.datasets[n] == nil {
+			res.Added = append(res.Added, n)
+		}
+	}
+	for _, n := range old.names {
+		if cat.datasets[n] == nil {
+			res.Removed = append(res.Removed, n)
+		}
+	}
+	return res, nil
 }
 
 // counted wraps a handler with its per-route request counter.
@@ -283,8 +425,8 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Datasets returns the served dataset names.
-func (s *Server) Datasets() []string { return append([]string(nil), s.names...) }
+// Datasets returns the currently served dataset names.
+func (s *Server) Datasets() []string { return append([]string(nil), s.cat.Load().names...) }
 
 // Stats snapshots the serving counters. The limiter counters are read in
 // one critical section — the same one their updates hold — so the snapshot
@@ -298,7 +440,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Status:            "ok",
 		UptimeSeconds:     time.Since(s.start).Seconds(),
-		Datasets:          len(s.datasets),
+		Datasets:          len(s.cat.Load().datasets),
 		Requests:          requests,
 		Inflight:          inflight,
 		MaxConcurrent:     maxSeen,
@@ -308,6 +450,9 @@ func (s *Server) Stats() Stats {
 		HotCacheHits:      hc.hits,
 		HotCacheMisses:    hc.misses,
 		HotCacheEvictions: hc.evictions,
+		Reloads:           s.reloads.Load(),
+		ReloadFailures:    s.reloadFailures.Load(),
+		DatasetsLoaded:    s.datasetsLoaded.Load(),
 	}
 }
 
@@ -357,9 +502,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // fragment returns one fragment payload: hot-cache hit, or a ranged store
-// read verified against the fragment's recorded ETag.
+// read verified against the fragment's recorded ETag. Cache keys carry the
+// dataset's load generation, so a republished dataset starts from a cold
+// slice of the cache instead of inheriting its predecessor's bytes (stale
+// entries age out of the LRU).
 func (s *Server) fragment(ds *dataset, vi, fi int) ([]byte, error) {
-	key := ds.name + "\x00" + ds.vars[vi].Name + "\x00" + strconv.Itoa(fi)
+	key := strconv.FormatInt(ds.gen, 10) + "\x00" + ds.vars[vi].Name + "\x00" + strconv.Itoa(fi)
 	if b, ok := s.hot.get(key); ok {
 		return b, nil
 	}
@@ -397,7 +545,7 @@ func (s *Server) fragment(ds *dataset, vi, fi int) ([]byte, error) {
 }
 
 func (s *Server) dataset(w http.ResponseWriter, r *http.Request) *dataset {
-	ds, ok := s.datasets[r.PathValue("ds")]
+	ds, ok := s.cat.Load().datasets[r.PathValue("ds")]
 	if !ok {
 		http.Error(w, "unknown dataset", http.StatusNotFound)
 		return nil
@@ -438,6 +586,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("progqoid_hot_cache_hits_total", "counter", "Fragment reads served from the hot cache.", st.HotCacheHits)
 	metric("progqoid_hot_cache_misses_total", "counter", "Fragment reads that went to the store.", st.HotCacheMisses)
 	metric("progqoid_hot_cache_evictions_total", "counter", "Fragments evicted from the hot cache under byte pressure.", st.HotCacheEvictions)
+	metric("progqoid_reloads_total", "counter", "Successful hot publishes (POST /v1/datasets/reload catalog swaps).", st.Reloads)
+	metric("progqoid_reload_failures_total", "counter", "Hot publishes rejected by store validation (catalog kept).", st.ReloadFailures)
+	metric("progqoid_datasets_loaded_total", "counter", "Datasets ingested into a serving catalog, at startup and on each reload.", st.DatasetsLoaded)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String())) //nolint:errcheck
 }
@@ -457,7 +608,33 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	b, _ := json.Marshal(struct {
 		Datasets []string `json:"datasets"`
-	}{s.names})
+	}{s.cat.Load().names})
+	writeBlob(w, r, b, "", "application/json", false)
+}
+
+// handleReload is the hot-publish entry point: admin-gated by
+// Options.AdminToken, it re-scans the store and swaps the catalog. 403
+// when the admin surface is disabled, 401 on a missing or wrong token,
+// 500 (catalog unchanged) when validation rejects the store contents.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.opts.AdminToken == "" {
+		http.Error(w, "admin interface disabled (start with an admin token to enable hot publish)", http.StatusForbidden)
+		return
+	}
+	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.opts.AdminToken)) != 1 {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	res, err := s.Reload()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if s.opts.LogRequests {
+		s.opts.Logger.Printf("progqoid: reload: serving %v (+%v -%v)", res.Datasets, res.Added, res.Removed)
+	}
+	b, _ := json.Marshal(res)
 	writeBlob(w, r, b, "", "application/json", false)
 }
 

@@ -3,7 +3,7 @@
 // written to a storage system at data-generation time and fetched
 // incrementally at analysis time.
 //
-// Two layers:
+// Three layers:
 //
 //   - Store: a fragment-addressed key-value interface with an in-memory
 //     implementation (remote-cache semantics) and a directory-backed
@@ -14,6 +14,12 @@
 //     dataset — names, grids, value ranges, zero masks, fragments — into a
 //     single self-describing blob with per-section checksums, so analysis
 //     code can reopen everything a producer wrote.
+//
+//   - Streaming ingest: ArchiveWriter flushes one variable blob at a time
+//     with the manifest as the commit point, and RefactorTo drives the
+//     whole refactor-and-pack pipeline in that bounded-memory mode — see
+//     writer.go. The on-disk layout ("PQARCH1") is specified in FORMATS.md
+//     at the repository root.
 package storage
 
 import (
@@ -214,26 +220,20 @@ var archiveMagic = []byte("PQARCH1\n")
 
 // WriteArchive bundles refactored variables into a store under the given
 // dataset name: one "<name>.manifest" blob plus one "<name>.<var>.var" blob
-// per variable, all CRC-protected.
+// per variable, all CRC-protected. It is ArchiveWriter driven in one call
+// over already-refactored variables; RefactorTo is the streaming form that
+// never holds the whole dataset in memory.
 func WriteArchive(st Store, name string, vars []*core.Variable) error {
-	if err := validKey(name + ".manifest"); err != nil {
+	w, err := NewArchiveWriter(st, name)
+	if err != nil {
 		return err
 	}
-	var manifest []byte
-	manifest = append(manifest, archiveMagic...)
-	manifest = appendU32(manifest, uint32(len(vars)))
 	for _, v := range vars {
-		blob := marshalVariable(v)
-		key := VarKey(name, v.Name)
-		if err := validKey(key); err != nil {
-			return fmt.Errorf("storage: variable name %q unusable as key: %w", v.Name, err)
-		}
-		if err := st.Put(key, withCRC(blob)); err != nil {
+		if err := w.WriteVariable(v); err != nil {
 			return err
 		}
-		manifest = encoding.PutSection(manifest, []byte(v.Name))
 	}
-	return st.Put(name+".manifest", withCRC(manifest))
+	return w.Close()
 }
 
 // ReadArchive reopens an archive written by WriteArchive.

@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"progqoi/internal/core"
+	"progqoi/internal/progressive"
+)
+
+func testFields(n, k int) ([]string, [][]float64) {
+	names := make([]string, k)
+	fields := make([][]float64, k)
+	for f := 0; f < k; f++ {
+		names[f] = string(rune('A' + f))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = 30*math.Sin(float64(i)/float64(9+f)) + float64(f)
+		}
+		if f == 0 {
+			data[5] = 0 // exercise the zero mask
+		}
+		fields[f] = data
+	}
+	return names, fields
+}
+
+func storeSnapshot(t *testing.T, st Store) map[string][]byte {
+	t.Helper()
+	keys, err := st.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, k := range keys {
+		b, err := st.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k] = b
+	}
+	return out
+}
+
+// TestRefactorToMatchesWriteArchive is the streaming-ingest equivalence
+// guarantee: RefactorTo leaves the store byte-identical — every key, every
+// blob — to the in-memory Refactor+WriteArchive path, at any worker count.
+func TestRefactorToMatchesWriteArchive(t *testing.T) {
+	names, fields := testFields(4000, 3)
+	opt := core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+	}
+	vars, err := core.RefactorVariables(names, fields, []int{4000}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewMemStore()
+	if err := WriteArchive(ref, "ds", vars); err != nil {
+		t.Fatal(err)
+	}
+	want := storeSnapshot(t, ref)
+	var wantBytes int64
+	for k, b := range want {
+		if k != "ds.manifest" {
+			wantBytes += int64(len(b))
+		}
+	}
+
+	for _, workers := range []int{1, 4} {
+		sopt := opt
+		sopt.Workers = workers
+		st := NewMemStore()
+		loads := 0
+		stored, err := RefactorTo(st, "ds", names, []int{4000}, sopt, func(i int) ([]float64, error) {
+			loads++
+			return fields[i], nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if loads != len(fields) {
+			t.Fatalf("workers=%d: %d source loads for %d fields", workers, loads, len(fields))
+		}
+		if stored != wantBytes {
+			t.Fatalf("workers=%d: StoredBytes %d, want %d", workers, stored, wantBytes)
+		}
+		got := storeSnapshot(t, st)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d keys, want %d", workers, len(got), len(want))
+		}
+		for k, b := range want {
+			if !bytes.Equal(got[k], b) {
+				t.Fatalf("workers=%d: blob %q differs from WriteArchive output", workers, k)
+			}
+		}
+		// And it reopens identically.
+		rt, err := ReadArchive(st, "ds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rt) != len(vars) || !reflect.DeepEqual(rt[0].ZeroMask, vars[0].ZeroMask) {
+			t.Fatalf("workers=%d: reopened archive differs", workers)
+		}
+	}
+}
+
+// TestArchiveWriterCommitPoint: until Close writes the manifest, the
+// archive does not exist for readers — the crash-safety contract of
+// streaming ingest.
+func TestArchiveWriterCommitPoint(t *testing.T) {
+	names, fields := testFields(600, 2)
+	vars, err := core.RefactorVariables(names, fields, []int{600}, core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewMemStore()
+	w, err := NewArchiveWriter(st, "torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteVariable(vars[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: variable blob flushed, manifest never written.
+	if _, err := ReadArchive(st, "torn"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("uncommitted archive readable: %v", err)
+	}
+	if err := w.WriteVariable(vars[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArchive(st, "torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != names[0] || got[1].Name != names[1] {
+		t.Fatalf("committed archive = %v", got)
+	}
+}
+
+// TestArchiveWriterMisuse: duplicate variables, bad names, use after
+// Close, and double Close all fail loudly.
+func TestArchiveWriterMisuse(t *testing.T) {
+	names, fields := testFields(200, 1)
+	vars, err := core.RefactorVariables(names, fields, []int{200}, core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PSZ3, LosslessTail: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewArchiveWriter(NewMemStore(), "bad/name"); err == nil {
+		t.Fatal("invalid dataset name accepted")
+	}
+	st := NewMemStore()
+	w, err := NewArchiveWriter(st, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteVariable(vars[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteVariable(vars[0]); err == nil {
+		t.Fatal("duplicate variable accepted")
+	}
+	bad := *vars[0]
+	bad.Name = "no/slash"
+	if err := w.WriteVariable(&bad); err == nil {
+		t.Fatal("invalid variable name accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("double Close accepted")
+	}
+	if err := w.WriteVariable(vars[0]); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+}
+
+// TestRefactorToSourceError: a failing source aborts the pack before the
+// manifest commit, so the store stays free of the dataset.
+func TestRefactorToSourceError(t *testing.T) {
+	names, fields := testFields(300, 2)
+	st := NewMemStore()
+	boom := errors.New("disk gone")
+	_, err := RefactorTo(st, "ds", names, []int{300}, core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB},
+	}, func(i int) ([]float64, error) {
+		if i == 1 {
+			return nil, boom
+		}
+		return fields[i], nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("source error lost: %v", err)
+	}
+	if _, err := ReadArchive(st, "ds"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aborted pack published a manifest: %v", err)
+	}
+}

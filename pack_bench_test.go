@@ -1,0 +1,70 @@
+package progqoi
+
+// pack_bench_test.go benchmarks the producer side of the pipeline: the
+// PR 5 parallel ingest. BenchmarkPackSequential vs BenchmarkPackParallel
+// runs the full pack path — refactor every variable and write the archive
+// blobs — with the encode pool off and on; the CI benchmark gate requires
+// the parallel variant to beat the sequential reference ≥2x on the 4-core
+// runner, mirroring the Advance gate on the retrieval side.
+
+import (
+	"runtime"
+	"testing"
+
+	"progqoi/internal/core"
+	"progqoi/internal/datagen"
+	"progqoi/internal/progressive"
+	"progqoi/internal/storage"
+)
+
+func benchPack(b *testing.B, workers int) {
+	ds := datagen.GE("GE-pack-bench", 24, 512, 17)
+	opt := core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+		Workers:     workers,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vars, err := core.RefactorVariables(ds.FieldNames, ds.Fields, ds.Dims, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := storage.WriteArchive(storage.NewMemStore(), "ge", vars); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(ds.TotalBytes())
+}
+
+// BenchmarkPackSequential is the single-threaded ingest reference.
+func BenchmarkPackSequential(b *testing.B) { benchPack(b, 1) }
+
+// BenchmarkPackParallel packs the same dataset with the full worker pool:
+// variables refactor concurrently and the per-bitplane encode stages
+// pool-schedule within each. The CI benchmark gate requires ≥2x over
+// BenchmarkPackSequential on the 4-core runner.
+func BenchmarkPackParallel(b *testing.B) { benchPack(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkStreamingPack measures the bounded-memory streaming path
+// (storage.RefactorTo): sequential over variables, pooled within each.
+// Ungated — it exists to track the cost of the memory bound next to the
+// batch path above.
+func BenchmarkStreamingPack(b *testing.B) {
+	ds := datagen.GE("GE-pack-bench", 24, 512, 17)
+	opt := core.RefactorOptions{
+		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
+		MaskZeros:   true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := storage.RefactorTo(storage.NewMemStore(), "ge", ds.FieldNames, ds.Dims, opt,
+			func(f int) ([]float64, error) { return ds.Fields[f], nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(ds.TotalBytes())
+}

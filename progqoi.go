@@ -53,6 +53,14 @@
 // sessions. Archive.RemoteStats reports actual wire bytes next to each
 // session's logical RetrievedBytes.
 //
+// The producer side scales too: Refactor parallelizes across variables
+// and bit planes under [WithRefactorWorkers] with bit-identical output,
+// `progqoi pack` streams one variable at a time (crash-safe: the archive
+// manifest commits last), and a running progqoid publishes newly packed
+// datasets with zero downtime via its admin reload route. ARCHITECTURE.md
+// and FORMATS.md at the repository root document the layers and every
+// at-rest/wire format.
+//
 // Several progqoid nodes serving the same archive form a cluster: pass
 // the extra base URLs with [WithEndpoints] (or let [WithPeerDiscovery]
 // find them), and fragment fetches shard across the nodes by rendezvous
@@ -148,6 +156,7 @@ type options struct {
 	planes    int
 	snapshots []float64
 	tail      bool
+	workers   int
 }
 
 // WithMethod selects the progressive representation (default PMGARDHB).
@@ -169,6 +178,14 @@ func WithSnapshotBounds(ebs []float64) Option {
 // WithLosslessTail appends a bit-exact final fragment to snapshot methods
 // so any tolerance is reachable (default on).
 func WithLosslessTail(on bool) Option { return func(o *options) { o.tail = on } }
+
+// WithRefactorWorkers bounds Refactor's encode pool, the producer-side
+// mirror of WithWorkers: variables refactor concurrently and the
+// per-bitplane encode stages within each variable share the same budget.
+// n = 1 selects the fully sequential path; the default (0) is GOMAXPROCS.
+// Parallel refactoring is deterministic — the archive is bit-identical to
+// the sequential path for every setting.
+func WithRefactorWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
 // Archive is a set of refactored variables sharing one grid. A local
 // Archive comes from Refactor; a remote one from OpenRemote, in which case
@@ -330,6 +347,7 @@ func Refactor(names []string, fields [][]float64, dims []int, opts ...Option) (*
 			LosslessTail: o.tail,
 		},
 		MaskZeros: o.maskZeros,
+		Workers:   o.workers,
 	})
 	if err != nil {
 		return nil, err
