@@ -1,17 +1,20 @@
 // Command benchgate is the CI benchmark-regression gate. It parses Go
-// benchmark output, compares the median ns/op of each benchmark against a
-// committed JSON baseline, and exits non-zero when any gated benchmark
-// regressed past the threshold — or when a required parallel speedup is
-// not met, or when a -require'd benchmark is missing from the current
-// run. It also converts between the JSON baseline format and the raw
-// text benchstat consumes, so the CI job can render a human-readable
-// benchstat table next to the machine-checked gate.
+// benchmark output, compares the median ns/op — and, when the runs carry
+// -benchmem columns, the median B/op and allocs/op — of each benchmark
+// against a committed JSON baseline, and exits non-zero when any gated
+// benchmark regressed past the threshold — or when a required parallel
+// speedup is not met, or when a -require'd benchmark is missing from the
+// current run, or when a -require-mem'd benchmark lacks memory columns.
+// It also converts between the JSON baseline format and the raw text
+// benchstat consumes, so the CI job can render a human-readable benchstat
+// table next to the machine-checked gate.
 //
 // Usage:
 //
 //	benchgate -current bench.txt -baseline BENCH_pr4_baseline.json \
 //	          -threshold 0.10 -match 'Advance|Do|ShardFetch' -out BENCH_pr.json \
 //	          -require 'ShardFetchSingle,ShardFetchCluster3' \
+//	          -require-mem 'DoTrace(Off|On)' \
 //	          -export-baseline bench_baseline.txt
 //	benchgate -current bench.txt -speedup 'BenchmarkAdvanceSequential/BenchmarkAdvanceParallel>=2.0'
 package main
@@ -50,8 +53,10 @@ type Baseline struct {
 	Lines []string `json:"lines"`
 }
 
-// benchLine matches `BenchmarkName-8   123   4567 ns/op ...`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches `BenchmarkName-8   123   4567 ns/op ...`, optionally
+// followed (possibly after custom metrics like MB/s) by the -benchmem
+// columns `B/op` and `allocs/op`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9]+) allocs/op)?`)
 
 // nameSuffix matches the -N GOMAXPROCS suffix Go appends to benchmark
 // names; exports strip it so benchstat aligns runs from machines with
@@ -73,11 +78,17 @@ func writeBenchText(path string, lines []string) error {
 	return os.WriteFile(path, []byte(strings.Join(out, "\n")+"\n"), 0o644)
 }
 
-// parse collects per-benchmark ns/op samples, normalizing away the -N
-// GOMAXPROCS suffix so runs from machines with different core counts
-// compare by name.
-func parse(lines []string) map[string][]float64 {
-	out := map[string][]float64{}
+// samples holds one benchmark's measurements across -count repetitions;
+// bytes and allocs stay empty when the run lacked -benchmem.
+type samples struct {
+	ns, bytes, allocs []float64
+}
+
+// parse collects per-benchmark ns/op (and, with -benchmem, B/op and
+// allocs/op) samples, normalizing away the -N GOMAXPROCS suffix so runs
+// from machines with different core counts compare by name.
+func parse(lines []string) map[string]*samples {
+	out := map[string]*samples{}
 	for _, ln := range lines {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(ln))
 		if m == nil {
@@ -87,7 +98,20 @@ func parse(lines []string) map[string][]float64 {
 		if err != nil {
 			continue
 		}
-		out[m[1]] = append(out[m[1]], v)
+		s := out[m[1]]
+		if s == nil {
+			s = &samples{}
+			out[m[1]] = s
+		}
+		s.ns = append(s.ns, v)
+		if m[3] != "" && m[4] != "" {
+			bv, err1 := strconv.ParseFloat(m[3], 64)
+			av, err2 := strconv.ParseFloat(m[4], 64)
+			if err1 == nil && err2 == nil {
+				s.bytes = append(s.bytes, bv)
+				s.allocs = append(s.allocs, av)
+			}
+		}
 	}
 	return out
 }
@@ -114,10 +138,12 @@ var speedupRe = regexp.MustCompile(`^(Benchmark\S+)/(Benchmark\S+)>=([0-9.]+)$`)
 
 // missingRequired checks a comma-separated list of regexps against the
 // current benchmark names and returns the patterns matching none of them.
-// CI uses it to fail loudly when a gated benchmark silently stops running
-// (renamed, moved packages, filtered out by the bench pattern) — the
+// With needMem, a benchmark only satisfies a pattern when its lines carry
+// -benchmem columns. CI uses it to fail loudly when a gated benchmark
+// silently stops running (renamed, moved packages, filtered out by the
+// bench pattern) or silently loses its memory measurements — the
 // regression gate would otherwise just skip it forever.
-func missingRequired(cur map[string][]float64, spec string) ([]string, error) {
+func missingRequired(cur map[string]*samples, spec string, needMem bool) ([]string, error) {
 	var missing []string
 	for _, pat := range strings.Split(spec, ",") {
 		pat = strings.TrimSpace(pat)
@@ -129,8 +155,8 @@ func missingRequired(cur map[string][]float64, spec string) ([]string, error) {
 			return nil, fmt.Errorf("bad -require pattern %q: %w", pat, err)
 		}
 		found := false
-		for name := range cur {
-			if re.MatchString(name) {
+		for name, s := range cur {
+			if re.MatchString(name) && (!needMem || len(s.allocs) > 0) {
 				found = true
 				break
 			}
@@ -153,6 +179,7 @@ func main() {
 		exportCur  = flag.String("export-current", "", "write the current lines, name-normalized, to this file (for benchstat)")
 		speedup    = flag.String("speedup", "", "required ratio, e.g. 'BenchmarkA/BenchmarkB>=2.0' (median A / median B)")
 		require    = flag.String("require", "", "comma-separated regexps; each must match at least one current benchmark")
+		requireMem = flag.String("require-mem", "", "comma-separated regexps; each must match a current benchmark carrying -benchmem columns")
 		benchtime  = flag.String("benchtime", "", "benchtime the current run used (recorded in -out, checked vs baseline)")
 		countFlag  = flag.Int("count", 0, "count the current run used (recorded in -out)")
 		noteFlag   = flag.String("note", "", "provenance note recorded in -out")
@@ -173,12 +200,22 @@ func main() {
 	failed := false
 
 	if *require != "" {
-		missing, err := missingRequired(cur, *require)
+		missing, err := missingRequired(cur, *require, false)
 		if err != nil {
 			fatal("benchgate: %v", err)
 		}
 		for _, pat := range missing {
 			fmt.Printf("REQUIRE %-52s no current benchmark matches\n", pat)
+			failed = true
+		}
+	}
+	if *requireMem != "" {
+		missing, err := missingRequired(cur, *requireMem, true)
+		if err != nil {
+			fatal("benchgate: %v", err)
+		}
+		for _, pat := range missing {
+			fmt.Printf("REQUIRE-MEM %-48s no current benchmark with -benchmem columns matches\n", pat)
 			failed = true
 		}
 	}
@@ -224,25 +261,46 @@ func main() {
 			if !gate.MatchString(name) {
 				continue
 			}
-			samples, ok := cur[name]
+			s, ok := cur[name]
 			if !ok {
 				fmt.Printf("GATE %-55s missing from current run\n", name)
 				failed = true
 				continue
 			}
 			checked++
-			b, c := median(baseRes[name]), median(samples)
-			delta := (c - b) / b
-			verdict := "ok"
-			if delta > *threshold {
-				if advisory {
-					verdict = fmt.Sprintf("slower than cross-hardware baseline (advisory, > %+.0f%%)", *threshold*100)
-				} else {
-					verdict = fmt.Sprintf("REGRESSION (> %+.0f%%)", *threshold*100)
-					failed = true
-				}
+			// ns/op, then — when both runs carried -benchmem — B/op and
+			// allocs/op under the same threshold and advisory rule.
+			checks := []struct {
+				unit      string
+				base, cur []float64
+			}{
+				{"ns/op", baseRes[name].ns, s.ns},
+				{"B/op", baseRes[name].bytes, s.bytes},
+				{"allocs/op", baseRes[name].allocs, s.allocs},
 			}
-			fmt.Printf("GATE %-55s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", name, b, c, delta*100, verdict)
+			for _, ck := range checks {
+				if len(ck.base) == 0 || len(ck.cur) == 0 {
+					continue
+				}
+				b, c := median(ck.base), median(ck.cur)
+				var delta float64
+				switch {
+				case b > 0:
+					delta = (c - b) / b
+				case c > 0:
+					delta = 1 // from zero to anything is a full regression
+				}
+				verdict := "ok"
+				if delta > *threshold {
+					if advisory {
+						verdict = fmt.Sprintf("worse than cross-hardware baseline (advisory, > %+.0f%%)", *threshold*100)
+					} else {
+						verdict = fmt.Sprintf("REGRESSION (> %+.0f%%)", *threshold*100)
+						failed = true
+					}
+				}
+				fmt.Printf("GATE %-55s %12.0f -> %12.0f %-9s  %+6.1f%%  %s\n", name, b, c, ck.unit, delta*100, verdict)
+			}
 		}
 		if checked == 0 {
 			fatal("benchgate: no baseline benchmark matched %q", *match)
@@ -256,10 +314,10 @@ func main() {
 		}
 		num, den := cur[m[1]], cur[m[2]]
 		want, _ := strconv.ParseFloat(m[3], 64)
-		if len(num) == 0 || len(den) == 0 {
+		if num == nil || den == nil || len(num.ns) == 0 || len(den.ns) == 0 {
 			fatal("benchgate: -speedup needs both %s and %s in the current run", m[1], m[2])
 		}
-		got := median(num) / median(den)
+		got := median(num.ns) / median(den.ns)
 		verdict := "ok"
 		if got < want {
 			verdict = "TOO SLOW"

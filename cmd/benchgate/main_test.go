@@ -16,11 +16,38 @@ func TestParseNormalizesGomaxprocsSuffix(t *testing.T) {
 		"PASS",
 	}
 	got := parse(lines)
-	if len(got["BenchmarkAdvanceParallel"]) != 3 {
+	if len(got["BenchmarkAdvanceParallel"].ns) != 3 {
 		t.Fatalf("parallel samples: %v", got)
 	}
-	if len(got["BenchmarkMultiQoIDo/workers=1"]) != 1 {
+	if len(got["BenchmarkMultiQoIDo/workers=1"].ns) != 1 {
 		t.Fatalf("sub-benchmark samples: %v", got)
+	}
+}
+
+func TestParseBenchmemColumns(t *testing.T) {
+	lines := []string{
+		// Plain -benchmem line.
+		"BenchmarkDoTraceOff-4 \t 4\t 53538622 ns/op\t 26995724 B/op\t 3159 allocs/op",
+		// Custom metric between ns/op and the memory columns.
+		"BenchmarkDoTraceOn-4 \t 4\t 58872484 ns/op\t 12.5 MB/s\t 26998116 B/op\t 3172 allocs/op",
+		// No -benchmem: memory samples stay empty, ns still parses.
+		"BenchmarkAdvanceParallel-4 \t 100\t 250000 ns/op",
+	}
+	got := parse(lines)
+	off := got["BenchmarkDoTraceOff"]
+	if len(off.ns) != 1 || len(off.bytes) != 1 || len(off.allocs) != 1 {
+		t.Fatalf("off samples: %+v", off)
+	}
+	if off.bytes[0] != 26995724 || off.allocs[0] != 3159 {
+		t.Fatalf("off mem = %g B/op, %g allocs/op", off.bytes[0], off.allocs[0])
+	}
+	on := got["BenchmarkDoTraceOn"]
+	if len(on.allocs) != 1 || on.allocs[0] != 3172 {
+		t.Fatalf("on samples: %+v", on)
+	}
+	plain := got["BenchmarkAdvanceParallel"]
+	if len(plain.ns) != 1 || len(plain.bytes) != 0 || len(plain.allocs) != 0 {
+		t.Fatalf("plain samples: %+v", plain)
 	}
 }
 
@@ -72,27 +99,36 @@ func TestSpeedupExpr(t *testing.T) {
 }
 
 func TestMissingRequired(t *testing.T) {
-	cur := map[string][]float64{
-		"BenchmarkShardFetchSingle":   {1},
-		"BenchmarkShardFetchCluster3": {1},
-		"BenchmarkAdvanceParallel":    {1},
+	cur := map[string]*samples{
+		"BenchmarkShardFetchSingle":   {ns: []float64{1}},
+		"BenchmarkShardFetchCluster3": {ns: []float64{1}},
+		"BenchmarkAdvanceParallel":    {ns: []float64{1}},
+		"BenchmarkDoTraceOff":         {ns: []float64{1}, bytes: []float64{64}, allocs: []float64{2}},
 	}
-	missing, err := missingRequired(cur, "ShardFetch,Advance")
+	missing, err := missingRequired(cur, "ShardFetch,Advance", false)
 	if err != nil || len(missing) != 0 {
 		t.Fatalf("missing = %v, err = %v", missing, err)
 	}
-	missing, err = missingRequired(cur, "ShardFetch, ^BenchmarkMultiQoIDo$ ,Nope")
+	missing, err = missingRequired(cur, "ShardFetch, ^BenchmarkMultiQoIDo$ ,Nope", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(missing) != 2 || missing[0] != "^BenchmarkMultiQoIDo$" || missing[1] != "Nope" {
 		t.Fatalf("missing = %v", missing)
 	}
-	if _, err := missingRequired(cur, "(["); err == nil {
+	if _, err := missingRequired(cur, "([", false); err == nil {
 		t.Fatal("bad regexp accepted")
 	}
 	// Empty elements (stray commas) are ignored, not failed.
-	if missing, err := missingRequired(cur, ",Advance,"); err != nil || len(missing) != 0 {
+	if missing, err := missingRequired(cur, ",Advance,", false); err != nil || len(missing) != 0 {
 		t.Fatalf("missing = %v, err = %v", missing, err)
+	}
+	// needMem: only benchmarks with -benchmem columns satisfy a pattern.
+	if missing, err := missingRequired(cur, "DoTraceOff", true); err != nil || len(missing) != 0 {
+		t.Fatalf("missing = %v, err = %v", missing, err)
+	}
+	missing, err = missingRequired(cur, "ShardFetchSingle", true)
+	if err != nil || len(missing) != 1 {
+		t.Fatalf("memless benchmark satisfied -require-mem: %v, err = %v", missing, err)
 	}
 }

@@ -310,9 +310,31 @@ func progressPrinter() func(progqoi.Iteration) {
 	}
 }
 
+// writeTrace renders tr as Chrome trace_event JSON at path; it runs even
+// after a failed retrieval so a partial trace can explain the failure.
+// Nil tr or empty path is a no-op.
+func writeTrace(tr *progqoi.Trace, path string) error {
+	if tr == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote trace %s\n", path)
+	return nil
+}
+
 // cmdRetrieveRemote runs the retrieval against a progqoid fragment
 // service instead of local archive files.
-func cmdRetrieveRemote(ctx context.Context, remote, dataset, formula string, tol float64, outPrefix string, progress bool) error {
+func cmdRetrieveRemote(ctx context.Context, remote, dataset, formula string, tol float64, outPrefix string, progress bool, tr *progqoi.Trace, tracePath string) error {
 	arch, err := progqoi.OpenRemote(ctx, remote, dataset)
 	if err != nil {
 		return err
@@ -322,7 +344,7 @@ func cmdRetrieveRemote(ctx context.Context, remote, dataset, formula string, tol
 	if err != nil {
 		return err
 	}
-	sess, err := arch.Open()
+	sess, err := arch.Open(progqoi.WithTrace(tr))
 	if err != nil {
 		return err
 	}
@@ -331,6 +353,9 @@ func cmdRetrieveRemote(ctx context.Context, remote, dataset, formula string, tol
 		req.OnProgress = progressPrinter()
 	}
 	res, err := sess.Do(ctx, req)
+	if terr := writeTrace(tr, tracePath); terr != nil && err == nil {
+		err = terr
+	}
 	if err != nil {
 		return err
 	}
@@ -354,8 +379,13 @@ func cmdRetrieve(args []string) error {
 	dataset := fs.String("dataset", "", "dataset name on the remote service")
 	timeout := fs.Duration("timeout", time.Duration(0), "abort the retrieval after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "print one line per retrieval iteration")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the retrieval phases to this file")
 	if help, err := parsed(fs, args); help || err != nil {
 		return err
+	}
+	var tr *progqoi.Trace
+	if *tracePath != "" {
+		tr = progqoi.NewTrace()
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -367,7 +397,7 @@ func cmdRetrieve(args []string) error {
 		if *dataset == "" || *formula == "" || !(*tol > 0) || fs.NArg() != 0 {
 			return fmt.Errorf("remote retrieve needs -dataset, -qoi, -tol > 0 and no archive files")
 		}
-		return cmdRetrieveRemote(ctx, *remote, *dataset, *formula, *tol, *outPrefix, *progress)
+		return cmdRetrieveRemote(ctx, *remote, *dataset, *formula, *tol, *outPrefix, *progress, tr, *tracePath)
 	}
 	names := strings.Split(*fieldsStr, ",")
 	if fs.NArg() == 0 || *formula == "" || !(*tol > 0) || len(names) != fs.NArg() {
@@ -395,7 +425,7 @@ func cmdRetrieve(args []string) error {
 		}
 		vars[i] = &core.Variable{Name: names[i], Ref: ref, Range: rng}
 	}
-	rt, err := core.NewRetriever(vars, core.Config{}, nil)
+	rt, err := core.NewRetriever(vars, core.Config{Trace: tr}, nil)
 	if err != nil {
 		return err
 	}
@@ -407,6 +437,9 @@ func cmdRetrieve(args []string) error {
 		creq.OnProgress = progressPrinter()
 	}
 	res, err := rt.Retrieve(ctx, creq)
+	if terr := writeTrace(tr, *tracePath); terr != nil && err == nil {
+		err = terr
+	}
 	if err != nil {
 		return err
 	}

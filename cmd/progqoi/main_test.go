@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"math"
 	"net/http"
@@ -331,5 +332,82 @@ func TestPackAndRemoteRetrieveWorkflow(t *testing.T) {
 	}
 	if err := cmdPack([]string{"-dims", "900", "-fields", "A", "-store", store, inA}); err == nil {
 		t.Fatal("pack without -dataset accepted")
+	}
+}
+
+// TestRetrieveTraceFlag runs -trace through both the local and remote
+// retrieval paths and checks the emitted files are valid Chrome
+// trace_event JSON with the expected phase categories.
+func TestRetrieveTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.f64")
+	arch := filepath.Join(dir, "x.pq")
+	writeField(t, in, 2000)
+	if err := cmdRefactor([]string{"-dims", "2000", "-out", arch, in}); err != nil {
+		t.Fatal(err)
+	}
+
+	parse := func(path string) map[string]bool {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string `json:"name"`
+				Ph   string `json:"ph"`
+				Cat  string `json:"cat"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s: not valid trace JSON: %v", path, err)
+		}
+		cats := map[string]bool{}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" {
+				cats[ev.Cat] = true
+			}
+		}
+		return cats
+	}
+
+	local := filepath.Join(dir, "local.json")
+	if err := cmdRetrieve([]string{"-qoi", "x^2", "-tol", "1e-3", "-fields", "x", "-trace", local, arch}); err != nil {
+		t.Fatal(err)
+	}
+	cats := parse(local)
+	for _, want := range []string{"do", "decode", "commit", "estimate"} {
+		if !cats[want] {
+			t.Errorf("local trace missing %q spans (have %v)", want, cats)
+		}
+	}
+
+	store := filepath.Join(dir, "archives")
+	if err := cmdPack([]string{"-dims", "2000", "-dataset", "demo", "-fields", "x", "-store", store, in}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.NewDirStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(st, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	remote := filepath.Join(dir, "remote.json")
+	err = cmdRetrieve([]string{"-remote", hs.URL, "-dataset", "demo",
+		"-qoi", "x^2", "-tol", "1e-3", "-trace", remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats = parse(remote)
+	for _, want := range []string{"do", "plan", "fetch", "http", "decode", "estimate"} {
+		if !cats[want] {
+			t.Errorf("remote trace missing %q spans (have %v)", want, cats)
+		}
 	}
 }

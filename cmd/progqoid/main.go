@@ -36,11 +36,13 @@ package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -77,13 +79,40 @@ func parsePeers(list string) ([]string, error) {
 	return out, nil
 }
 
+// newLogger builds the process logger from the -log-format and -log-level
+// flags; records go to stderr so stdout stays free for tooling.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q (want text or json)", format)
+	}
+}
+
 // newServer builds the HTTP handler for one archive directory; split from
 // run so tests can drive it without a listener.
 func newServer(dir string, limit int, logRequests bool) (*server.Server, error) {
-	return newClusterServer(dir, limit, 0, "", nil, "", logRequests)
+	return newClusterServer(dir, limit, 0, "", nil, "", logRequests, nil)
 }
 
-func newClusterServer(dir string, limit int, cacheBytes int64, advertise string, peers []string, adminToken string, logRequests bool) (*server.Server, error) {
+func newClusterServer(dir string, limit int, cacheBytes int64, advertise string, peers []string, adminToken string, logRequests bool, lg *slog.Logger) (*server.Server, error) {
 	st, err := storage.NewDirStore(dir)
 	if err != nil {
 		return nil, err
@@ -95,6 +124,33 @@ func newClusterServer(dir string, limit int, cacheBytes int64, advertise string,
 		Peers:         peers,
 		AdminToken:    adminToken,
 		LogRequests:   logRequests,
+		Log:           lg,
+	})
+}
+
+// withPprof mounts net/http/pprof under /debug/pprof/ behind the admin
+// bearer token; every other path falls through to next. Profiles expose
+// heap contents and symbol names, so they get the same gate as hot
+// publishing rather than a public route.
+func withPprof(next http.Handler, token string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	want := []byte("Bearer " + token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got := []byte(r.Header.Get("Authorization"))
+		if len(got) != len(want) || subtle.ConstantTimeCompare(got, want) != 1 {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		mux.ServeHTTP(w, r)
 	})
 }
 
@@ -108,6 +164,9 @@ func run(args []string) error {
 	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster nodes, reported at /v1/cluster")
 	admin := fs.String("admin", "", "admin token enabling hot publish via POST /v1/datasets/reload (empty disables)")
 	verbose := fs.Bool("v", false, "log every request")
+	logFormat := fs.String("log-format", "text", "log record format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ behind the -admin bearer token")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			// -h printed usage; that is success, not a startup failure.
@@ -118,6 +177,13 @@ func run(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
+	lg, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *pprofOn && *admin == "" {
+		return fmt.Errorf("-pprof requires -admin: profiling endpoints are bearer-gated")
+	}
 	peerURLs, err := parsePeers(*peers)
 	if err != nil {
 		return fmt.Errorf("-peers: %w", err)
@@ -127,20 +193,31 @@ func run(args []string) error {
 			return fmt.Errorf("-advertise: %w", err)
 		}
 	}
-	srv, err := newClusterServer(*dir, *limit, *cache, *advertise, peerURLs, *admin, *verbose)
+	srv, err := newClusterServer(*dir, *limit, *cache, *advertise, peerURLs, *admin, *verbose, lg)
 	if err != nil {
 		return err
 	}
 	names := srv.Datasets()
 	if len(names) == 0 {
-		log.Printf("progqoid: warning: no datasets (no *.manifest keys) under %s", *dir)
+		lg.Warn("no datasets (no *.manifest keys)", slog.String("dir", *dir))
 	}
-	log.Printf("progqoid: serving %d dataset(s) %v from %s on %s (limit %d, %d peer(s), hot publish %s)",
-		len(names), names, *dir, *addr, *limit, len(peerURLs), map[bool]string{true: "on", false: "off"}[*admin != ""])
+	lg.Info("serving",
+		slog.Int("datasets", len(names)),
+		slog.Any("names", names),
+		slog.String("dir", *dir),
+		slog.String("addr", *addr),
+		slog.Int("limit", *limit),
+		slog.Int("peers", len(peerURLs)),
+		slog.Bool("hot_publish", *admin != ""),
+		slog.Bool("pprof", *pprofOn))
 
+	handler := http.Handler(srv)
+	if *pprofOn {
+		handler = withPprof(srv, *admin)
+	}
 	// ReadHeaderTimeout keeps a slow-loris peer from pinning a connection
 	// forever; fragment bodies themselves are never read by the server.
-	hs := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	hs := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
@@ -149,7 +226,7 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		log.Printf("progqoid: %v, draining", s)
+		lg.Info("draining", slog.String("signal", s.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

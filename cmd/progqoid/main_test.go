@@ -103,7 +103,7 @@ func TestParsePeers(t *testing.T) {
 func TestClusterFlagsReachClusterEndpoint(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "arch")
 	writeArchiveDir(t, dir)
-	srv, err := newClusterServer(dir, 8, 0, "http://me:9123", []string{"http://peer:9123"}, "", false)
+	srv, err := newClusterServer(dir, 8, 0, "http://me:9123", []string{"http://peer:9123"}, "", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,14 +147,14 @@ func TestAdminFlagEnablesReload(t *testing.T) {
 		resp.Body.Close()
 		return resp.StatusCode
 	}
-	off, err := newClusterServer(dir, 8, 0, "", nil, "", false)
+	off, err := newClusterServer(dir, 8, 0, "", nil, "", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code := reload(off, "tok"); code != http.StatusForbidden {
 		t.Fatalf("reload without -admin: %d", code)
 	}
-	on, err := newClusterServer(dir, 8, 0, "", nil, "tok", false)
+	on, err := newClusterServer(dir, 8, 0, "", nil, "tok", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,5 +233,78 @@ func TestRunStartupErrors(t *testing.T) {
 func TestHelpFlagIsNotAnError(t *testing.T) {
 	if err := run([]string{"-h"}); err != nil {
 		t.Fatalf("-h returned %v, want nil", err)
+	}
+}
+
+func TestNewLoggerValidation(t *testing.T) {
+	for _, tc := range []struct {
+		format, level string
+		ok            bool
+	}{
+		{"text", "info", true},
+		{"json", "debug", true},
+		{"text", "WARN", true}, // level is case-insensitive
+		{"yaml", "info", false},
+		{"text", "loud", false},
+	} {
+		_, err := newLogger(tc.format, tc.level)
+		if (err == nil) != tc.ok {
+			t.Errorf("newLogger(%q, %q) err = %v, want ok=%v", tc.format, tc.level, err, tc.ok)
+		}
+	}
+}
+
+// TestPprofGating covers the -pprof contract: the flag demands -admin, and
+// the mounted /debug/pprof/ routes answer only to the admin bearer token
+// while normal service routes stay public.
+func TestPprofGating(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	writeArchiveDir(t, dir)
+
+	err := runErr(t, true, "-dir", dir, "-pprof")
+	if err == nil || !strings.Contains(err.Error(), "-admin") {
+		t.Fatalf("-pprof without -admin: err = %v, want mention of -admin", err)
+	}
+
+	srv, err := newServer(dir, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(withPprof(srv, "sekrit"))
+	defer hs.Close()
+
+	get := func(path, auth string) int {
+		t.Helper()
+		req, err := http.NewRequest("GET", hs.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if s := get("/debug/pprof/", ""); s != http.StatusUnauthorized {
+		t.Errorf("unauthenticated pprof index: status %d, want 401", s)
+	}
+	if s := get("/debug/pprof/heap", "Bearer wrong"); s != http.StatusUnauthorized {
+		t.Errorf("wrong-token pprof heap: status %d, want 401", s)
+	}
+	if s := get("/debug/pprof/", "Bearer sekrit"); s != http.StatusOK {
+		t.Errorf("authenticated pprof index: status %d, want 200", s)
+	}
+	if s := get("/debug/pprof/heap", "Bearer sekrit"); s != http.StatusOK {
+		t.Errorf("authenticated pprof heap: status %d, want 200", s)
+	}
+	// Non-pprof routes fall through ungated.
+	if s := get("/healthz", ""); s != http.StatusOK {
+		t.Errorf("healthz through pprof wrapper: status %d, want 200", s)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"progqoi/internal/encoding"
+	"progqoi/internal/obs"
 	"progqoi/internal/server"
 )
 
@@ -136,6 +137,15 @@ type Stats struct {
 	// shard's rendezvous primary — each one is a request a healthy
 	// single-node path would have lost.
 	Failovers int64
+	// BreakerOpens counts circuit-open transitions across all endpoints —
+	// the number of times a node was demoted for failing
+	// breakerThreshold requests in a row (or flunking a half-open probe).
+	BreakerOpens int64
+	// RetryPasses counts backoff waits spent: full passes over the
+	// endpoint set that ended with every candidate failing, forcing the
+	// client to sleep and spend retry budget. Zero on a healthy cluster
+	// no matter how much plain (free) failover happened.
+	RetryPasses int64
 	// CacheBytes / CacheEntries / CacheEvictions describe the LRU.
 	CacheBytes     int64
 	CacheEntries   int
@@ -176,6 +186,7 @@ type Client struct {
 	coalesced    atomic.Int64
 	speculated   atomic.Int64
 	failovers    atomic.Int64
+	retryPasses  atomic.Int64
 }
 
 // New returns a client for the service at baseURL (e.g.
@@ -230,12 +241,15 @@ func (c *Client) Stats() Stats {
 		Coalesced:        c.coalesced.Load(),
 		Speculated:       c.speculated.Load(),
 		Failovers:        c.failovers.Load(),
+		RetryPasses:      c.retryPasses.Load(),
 		CacheBytes:       cb,
 		CacheEntries:     ce,
 		CacheEvictions:   ev,
 	}
 	for _, ep := range c.eps {
-		st.Endpoints = append(st.Endpoints, ep.snapshot())
+		es := ep.snapshot()
+		st.BreakerOpens += es.Opens
+		st.Endpoints = append(st.Endpoints, es)
 	}
 	return st
 }
@@ -343,18 +357,28 @@ func (c *Client) Fragment(ctx context.Context, dataset, vr string, fi int) ([]by
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The fetch span's Bytes mirrors the wireBytes increment below exactly,
+	// so a trace's summed fetch bytes reconcile with Stats.WireBytes. The
+	// mark is zero (and free) when the context carries no trace.
+	var mf obs.SpanMark
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		mf = tr.Begin(obs.CatFetch, "frag "+vr+"/"+strconv.Itoa(fi))
+	}
 	path := "/v1/d/" + dataset + "/frag/" + vr + "/" + strconv.Itoa(fi)
 	b, err := c.doOrder(ctx, c.candidates(shardKey(vr, fi)), c.repl, "GET", path, nil, "")
 	if err != nil {
+		mf.End()
 		return nil, err
 	}
 	if idx, ierr := c.Index(ctx, dataset); ierr == nil {
 		if want := indexFragSize(idx, vr, fi); want >= 0 && int64(len(b)) != want {
+			mf.End()
 			return nil, fmt.Errorf("%w: fragment %s/%s/%d is %d bytes, index says %d",
 				encoding.ErrCorrupt, dataset, vr, fi, len(b), want)
 		}
 	}
 	c.wireBytes.Add(int64(len(b)))
+	mf.EndBytes(int64(len(b)))
 	c.fragsFetched.Add(1)
 	c.cache.add(key, b)
 	return b, nil
@@ -428,6 +452,12 @@ func (c *Client) FragmentsWorkers(ctx context.Context, dataset string, wants map
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
+		// Bytes mirror the per-fragment wireBytes increments in the install
+		// loop below, keeping traced fetch bytes equal to Stats.WireBytes.
+		var mf obs.SpanMark
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			mf = tr.Begin(obs.CatFetch, "frags "+dataset+" x"+strconv.Itoa(len(owned)))
+		}
 		byVar := map[string][]int{}
 		for _, p := range owned {
 			byVar[p.vr] = append(byVar[p.vr], p.fi)
@@ -447,6 +477,7 @@ func (c *Client) FragmentsWorkers(ctx context.Context, dataset string, wants map
 				}
 			}
 		}
+		var fetched int64
 		c.mu.Lock()
 		for _, p := range owned {
 			delete(c.inflight, p.key)
@@ -460,11 +491,13 @@ func (c *Client) FragmentsWorkers(ctx context.Context, dataset string, wants map
 				p.cl.val = bytes.Clone(got[p.key])
 				c.cache.add(p.key, p.cl.val)
 				c.wireBytes.Add(int64(len(p.cl.val)))
+				fetched += int64(len(p.cl.val))
 				c.fragsFetched.Add(1)
 			}
 			close(p.cl.done)
 		}
 		c.mu.Unlock()
+		mf.EndBytes(fetched)
 		if ferr != nil {
 			return nil, ferr
 		}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"progqoi/internal/obs"
 	"progqoi/internal/server"
 )
 
@@ -75,6 +76,7 @@ type endpoint struct {
 
 	requests atomic.Int64
 	errors   atomic.Int64
+	opens    atomic.Int64 // circuit-open transitions
 }
 
 // admit reports whether the breaker lets a request through right now. An
@@ -122,6 +124,9 @@ func (e *endpoint) report(ok bool, cooldown time.Duration) {
 	}
 	e.failures++
 	if e.state == bkHalfOpen || e.failures >= breakerThreshold {
+		if e.state != bkOpen {
+			e.opens.Add(1)
+		}
 		e.state = bkOpen
 		e.openUntil = time.Now().Add(cooldown)
 	}
@@ -137,6 +142,7 @@ func (e *endpoint) snapshot() EndpointStats {
 		State:    st.String(),
 		Requests: e.requests.Load(),
 		Errors:   e.errors.Load(),
+		Opens:    e.opens.Load(),
 	}
 }
 
@@ -152,6 +158,9 @@ type EndpointStats struct {
 	// Errors counts endpoint-health failures (connection errors,
 	// truncated bodies, 5xx).
 	Errors int64
+	// Opens counts this endpoint's circuit-open transitions: how many
+	// times it went from serving to cooling down.
+	Opens int64
 }
 
 // shardKey is the rendezvous key of one fragment: sharding is by
@@ -226,6 +235,20 @@ func (c *Client) attempt(ctx context.Context, ep *endpoint, method, path string,
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		// The retrieval's request ID rides every HTTP attempt, so server
+		// access logs correlate with the client-side trace.
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
+	// One raw http span per attempt (including retries and failovers);
+	// Bytes is the raw response size, not wire accounting — fetch spans
+	// own that.
+	var mh obs.SpanMark
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		mh = tr.Begin(obs.CatHTTP, method+" "+ep.base+path)
+	}
+	var nread int64
+	defer func() { mh.EndBytes(nread) }()
 	c.wireRequests.Add(1)
 	ep.requests.Add(1)
 	resp, err := c.hc.Do(req)
@@ -242,6 +265,7 @@ func (c *Client) attempt(ctx context.Context, ep *endpoint, method, path string,
 		return nil, fmt.Errorf("client: %s %s via %s: %w", method, path, ep.base, err), true
 	}
 	data, rerr := io.ReadAll(resp.Body)
+	nread = int64(len(data))
 	resp.Body.Close() //nolint:errcheck
 	switch {
 	case resp.StatusCode >= 500:
@@ -283,6 +307,7 @@ func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, metho
 	backoff := c.opts.RetryBackoff
 	for pass := 0; pass <= c.opts.MaxRetries; pass++ {
 		if pass > 0 {
+			c.retryPasses.Add(1)
 			t := time.NewTimer(backoff)
 			select {
 			case <-ctx.Done():
@@ -411,6 +436,7 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 				return nil, fmt.Errorf("client: giving up after %d passes over %d endpoint(s): %w",
 					pass, len(c.eps), lastErr)
 			}
+			c.retryPasses.Add(1)
 			t := time.NewTimer(backoff)
 			select {
 			case <-ctx.Done():

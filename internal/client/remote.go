@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"progqoi/internal/core"
+	"progqoi/internal/obs"
 	"progqoi/internal/progressive"
 	"progqoi/internal/server"
 	"progqoi/internal/storage"
@@ -222,7 +223,7 @@ func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core
 				vars[vi].Ref.Fragments[fi] = payload
 			}
 		}
-		r.readAhead(need, vars)
+		r.readAhead(ctx, need, vars)
 		return nil
 	}
 	cfg.WireBytes = func() int64 { return r.c.wireBytes.Load() }
@@ -234,7 +235,7 @@ func (r *Remote) NewSession(fetch progressive.FetchFunc, cfg core.Config) (*core
 // request next fragments in order, so the prediction is exact for PMGARD
 // and PSZ3-Delta). It returns immediately; errors are swallowed — a failed
 // speculation costs nothing but the attempt.
-func (r *Remote) readAhead(need [][]int, vars []*core.Variable) {
+func (r *Remote) readAhead(ctx context.Context, need [][]int, vars []*core.Variable) {
 	ra := r.c.opts.ReadAhead
 	if ra <= 0 {
 		return
@@ -264,10 +265,15 @@ func (r *Remote) readAhead(need [][]int, vars []*core.Variable) {
 	}
 	r.c.speculated.Add(count)
 	r.specWG.Add(1)
+	// Detach from the iteration's deadline but keep its trace and request
+	// ID: speculative fetches increment WireBytes, so they must also record
+	// fetch spans or the trace's byte reconciliation would leak.
+	tr, rid := obs.TraceFrom(ctx), obs.RequestIDFrom(ctx)
 	go func() {
 		defer r.specWG.Done()
 		sctx, cancel := context.WithTimeout(context.Background(), readAheadTimeout)
 		defer cancel()
+		sctx = obs.ContextWithRequestID(obs.ContextWithTrace(sctx, tr), rid)
 		r.c.Fragments(sctx, r.dataset, spec) //nolint:errcheck // speculative
 	}()
 }

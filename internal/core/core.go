@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"progqoi/internal/obs"
 	"progqoi/internal/progressive"
 	"progqoi/internal/qoi"
 	"progqoi/internal/stats"
@@ -212,6 +213,13 @@ type Config struct {
 	// actually moved (a remote client's wire counter). It feeds
 	// Iteration.WireBytes; nil means no transport (local archive).
 	WireBytes func() int64
+	// Trace, when set, records one span per retrieval phase (plan, fetch,
+	// decode, commit, estimate) for every iteration, plus an umbrella span
+	// per Retrieve call, and stamps the retrieval's request ID into the
+	// context so the transport can propagate it as an X-Request-Id header.
+	// Nil (the default) keeps the hot path untouched: no context values,
+	// no spans, no allocations.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -287,6 +295,7 @@ func NewRetriever(vars []*Variable, cfg Config, fetch progressive.FetchFunc) (*R
 			return nil, fmt.Errorf("core: open %s: %w", v.Name, err)
 		}
 		rd.SetWorkers(rt.cfg.Workers)
+		rd.SetTrace(rt.cfg.Trace, v.Name)
 		rt.readers = append(rt.readers, rd)
 		n := v.Ref.NumElements()
 		if ne < 0 {
@@ -369,6 +378,14 @@ func (rt *Retriever) Retrieve(ctx context.Context, req Request) (*Result, error)
 		qoiVars[k] = vs
 	}
 
+	if tr := rt.cfg.Trace; tr != nil {
+		// Stamp the trace and its request ID into the context so the
+		// transport below records spans and propagates X-Request-Id.
+		ctx = obs.ContextWithRequestID(obs.ContextWithTrace(ctx, tr), tr.ID())
+		do := tr.Begin(obs.CatDo, "Retrieve "+tr.ID())
+		defer do.End()
+	}
+
 	// Algorithm 3: initial error bounds from relative tolerances.
 	rt.assignInitial(req, qoiVars)
 
@@ -403,7 +420,7 @@ func (rt *Retriever) Retrieve(ctx context.Context, req Request) (*Result, error)
 		}
 		res.Iterations = iter + 1
 		// Progressive retrieval to the currently assigned bounds.
-		progressed, err := rt.advance(ctx, involved)
+		progressed, err := rt.advance(ctx, involved, res.Iterations)
 		if err != nil {
 			if ctx.Err() != nil {
 				// The session state is untouched by the aborted step; hand
@@ -415,7 +432,9 @@ func (rt *Retriever) Retrieve(ctx context.Context, req Request) (*Result, error)
 		}
 
 		// QoI error estimation over the full field (Algorithm 2 lines 13–24).
+		mEst := rt.cfg.Trace.BeginIter(obs.CatEstimate, "estimate", res.Iterations)
 		maxEst, argmax, err := rt.estimateAll(req, qoiVars, ne)
+		mEst.End()
 		if err != nil {
 			return nil, err
 		}
@@ -508,8 +527,9 @@ func (rt *Retriever) assignInitial(req Request, qoiVars [][]int) {
 // Variables advance concurrently (each with its own decode pool) when
 // Workers > 1; per-variable state is independent and results merge by
 // index, so the outcome is identical to the sequential order.
-func (rt *Retriever) advance(ctx context.Context, involved map[int]bool) (bool, error) {
+func (rt *Retriever) advance(ctx context.Context, involved map[int]bool, iter int) (bool, error) {
 	if rt.cfg.Prefetch != nil {
+		mPlan := rt.cfg.Trace.BeginIter(obs.CatPlan, "plan", iter)
 		need := make([][]int, len(rt.vars))
 		any := false
 		for v := range rt.vars {
@@ -521,8 +541,15 @@ func (rt *Retriever) advance(ctx context.Context, involved map[int]bool) (bool, 
 				any = true
 			}
 		}
+		mPlan.End()
 		if any {
-			if err := rt.cfg.Prefetch(ctx, need); err != nil {
+			// The umbrella prefetch span carries no bytes; the transport
+			// records byte-carrying fetch spans underneath it at exactly the
+			// points where its wire counter is incremented.
+			mFetch := rt.cfg.Trace.BeginIter(obs.CatFetch, "prefetch", iter)
+			err := rt.cfg.Prefetch(ctx, need)
+			mFetch.End()
+			if err != nil {
 				return false, fmt.Errorf("core: prefetch: %w", err)
 			}
 		}
@@ -531,6 +558,11 @@ func (rt *Retriever) advance(ctx context.Context, involved map[int]bool) (bool, 
 	for v := range rt.vars {
 		if involved[v] {
 			todo = append(todo, v)
+		}
+	}
+	if rt.cfg.Trace != nil {
+		for _, v := range todo {
+			rt.readers[v].SetTraceIter(iter)
 		}
 	}
 	moved := make([]bool, len(todo))
@@ -547,7 +579,11 @@ func (rt *Retriever) advance(ctx context.Context, involved map[int]bool) (bool, 
 			moved[i] = true
 		}
 		rt.achieved[v] = b
+		// Reconstruction is the commit phase: coefficients accumulated by
+		// the decode spans become the field the estimator reads.
+		mCom := rt.cfg.Trace.BeginIter(obs.CatCommit, rt.vars[v].Name, iter)
 		data, err := rt.readers[v].Data()
+		mCom.End()
 		if err != nil {
 			errs[i] = fmt.Errorf("core: data %s: %w", rt.vars[v].Name, err)
 			return

@@ -1,0 +1,142 @@
+// histogram.go — a fixed-bucket, lock-free histogram with Prometheus
+// text exposition rendering. No dependencies: the serving tier exposes
+// latency and size distributions without pulling in client_golang.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free (two atomic adds and a CAS loop for the sum) so it sits on
+// request paths. Bucket upper bounds are set at construction and never
+// change; the +Inf bucket is implicit.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds, excluding +Inf
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// upper bounds. It panics on an empty or unsorted bound list — bucket
+// layouts are compile-time decisions, not runtime input.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	upper := make([]float64, len(bounds))
+	copy(upper, bounds)
+	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (≤ ~16) and branch-predictable,
+	// beating binary search at this size without allocating.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts is per-bucket (non-cumulative) with the +Inf bucket last, so
+// len(Counts) == len(Bounds)+1.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. Counters are read
+// individually, so a snapshot taken under concurrent Observe calls is
+// approximately — not transactionally — consistent, which is all the
+// exposition format promises anyway.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.upper,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// LatencyBuckets is the default bucket layout for request latencies in
+// seconds: 500 µs to 10 s, roughly geometric.
+func LatencyBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// ByteBuckets is the default bucket layout for payload sizes in bytes:
+// 256 B to 64 MiB in ×4 steps.
+func ByteBuckets() []float64 {
+	return []float64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+}
+
+// WriteFamilyHeader writes the # HELP and # TYPE lines for one metric
+// family. Call once per family, then WriteHistogramSeries (or plain
+// sample lines) for each label set.
+func WriteFamilyHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteHistogramSeries writes the _bucket/_sum/_count sample lines for
+// one labelled series of a histogram family. labels is the rendered
+// inner label list (e.g. `route="frag"`) or "" for an unlabelled
+// series; the le label is appended per exposition rules.
+func WriteHistogramSeries(w io.Writer, name, labels string, s HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, formatBound(b), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatValue(s.Sum))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(s.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus does: shortest
+// round-trippable float.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatValue renders a sample value.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Buckets are (..1], (1..10], (10..100], (100..+Inf).
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-1066.5) > 1e-9 {
+		t.Fatalf("sum %g, want 1066.5", s.Sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets()...)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g+1) * 0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*per)
+	}
+	var sumBuckets int64
+	for _, c := range s.Counts {
+		sumBuckets += c
+	}
+	if sumBuckets != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sumBuckets, s.Count)
+	}
+	want := float64(per) * 0.001 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8)
+	if math.Abs(s.Sum-want) > 1e-6 {
+		t.Fatalf("sum %g, want %g", s.Sum, want)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+// TestHistogramExpositionRoundTrip renders a histogram family and
+// feeds it back through the package's own exposition parser — the
+// writer and the validator must agree on the format.
+func TestHistogramExpositionRoundTrip(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	WriteFamilyHeader(&buf, "x_duration_seconds", "histogram", "Request latency.")
+	WriteHistogramSeries(&buf, "x_duration_seconds", `route="frag"`, h.Snapshot())
+	WriteHistogramSeries(&buf, "x_duration_seconds", "", h.Snapshot())
+
+	out := buf.String()
+	for _, want := range []string{
+		`x_duration_seconds_bucket{route="frag",le="0.001"} 1`,
+		`x_duration_seconds_bucket{route="frag",le="+Inf"} 3`,
+		`x_duration_seconds_count{route="frag"} 3`,
+		`x_duration_seconds_bucket{le="+Inf"} 3`,
+		"x_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	fams, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own output failed own parser: %v", err)
+	}
+	f := fams["x_duration_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("family not parsed: %+v", f)
+	}
+	// 2 series × (4 buckets + sum + count) = 12 samples.
+	if f.Samples != 12 {
+		t.Fatalf("samples %d, want 12", f.Samples)
+	}
+}

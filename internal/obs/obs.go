@@ -1,0 +1,282 @@
+// Package obs is the shared observability layer for the progressive
+// retrieval stack: a low-overhead span recorder for tracing one
+// Session.Do end to end, request-ID generation and context plumbing so
+// the ID crosses process boundaries as an X-Request-Id header, and a
+// Chrome trace_event JSON writer so a recorded retrieval is inspectable
+// in chrome://tracing or Perfetto.
+//
+// The recorder is built around one invariant: when tracing is off the
+// hot path must not change. Every method on *Trace is nil-safe, Begin
+// on a nil trace returns a zero SpanMark (a value, never a heap
+// allocation), and End on a zero mark is a no-op — so call sites guard
+// with a single pointer comparison and pay nothing when disabled.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span categories used across the stack. A span's Cat picks its lane in
+// the Chrome trace view; Name carries the human detail (variable name,
+// endpoint, fragment id).
+const (
+	CatDo       = "do"       // one whole Session.Do / Retrieve call
+	CatPlan     = "plan"     // need-list construction for an iteration
+	CatFetch    = "fetch"    // wire fetches; Bytes mirrors Stats.WireBytes
+	CatDecode   = "decode"   // bitplane ingest per variable
+	CatCommit   = "commit"   // block commit (reconstruction) per variable
+	CatEstimate = "estimate" // QoI error estimation per iteration
+	CatHTTP     = "http"     // individual HTTP attempts (raw, incl. retries)
+)
+
+// Span is one timed phase of a retrieval. Fields are fixed-width so a
+// recorded span never drags a map or interface along; Start is relative
+// to the trace origin.
+type Span struct {
+	Cat   string        // category, one of the Cat* constants
+	Name  string        // detail: variable, endpoint, fragment batch
+	Iter  int           // retrieval iteration (0 when not iteration-scoped)
+	Start time.Duration // offset from the trace origin
+	Dur   time.Duration // span duration
+	Bytes int64         // wire bytes accounted inside this span (fetch spans only)
+}
+
+// Trace records spans for one retrieval. It is safe for concurrent use:
+// parallel decode workers and shard fetchers append under one mutex.
+// The zero value is not usable; construct with NewTrace. A nil *Trace
+// is valid everywhere and records nothing.
+type Trace struct {
+	id     string
+	origin time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace with a fresh request ID and the
+// origin pinned to now.
+func NewTrace() *Trace {
+	return &Trace{id: NewID(), origin: time.Now()}
+}
+
+// ID returns the trace's request ID ("" on a nil trace). The same ID is
+// propagated to every server the retrieval touches.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SpanMark is an open span returned by Begin. It is a plain value: a
+// zero SpanMark (from Begin on a nil trace) costs nothing to create and
+// its End methods no-op.
+type SpanMark struct {
+	t     *Trace
+	cat   string
+	name  string
+	iter  int
+	start time.Duration
+}
+
+// Begin opens a span. On a nil trace it returns a zero mark.
+func (t *Trace) Begin(cat, name string) SpanMark {
+	return t.BeginIter(cat, name, 0)
+}
+
+// BeginIter opens a span tagged with a retrieval iteration number.
+func (t *Trace) BeginIter(cat, name string, iter int) SpanMark {
+	if t == nil {
+		return SpanMark{}
+	}
+	return SpanMark{t: t, cat: cat, name: name, iter: iter, start: time.Since(t.origin)}
+}
+
+// End closes the span with no byte accounting.
+func (m SpanMark) End() { m.EndBytes(0) }
+
+// EndBytes closes the span, recording the wire bytes it accounted.
+// Fetch spans call this at exactly the points where the client's
+// WireBytes counter is incremented, so summing Bytes over a trace's
+// fetch spans reconciles with Stats.WireBytes.
+func (m SpanMark) EndBytes(n int64) {
+	if m.t == nil {
+		return
+	}
+	s := Span{Cat: m.cat, Name: m.name, Iter: m.iter, Start: m.start, Bytes: n}
+	s.Dur = time.Since(m.t.origin) - m.start
+	m.t.mu.Lock()
+	m.t.spans = append(m.t.spans, s)
+	m.t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// FetchBytes sums Bytes over the trace's fetch spans — the traced view
+// of the client's wire-byte accounting.
+func (t *Trace) FetchBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, s := range t.spans {
+		if s.Cat == CatFetch {
+			n += s.Bytes
+		}
+	}
+	return n
+}
+
+// chromeEvent is one trace_event record. Only "X" (complete) and "M"
+// (metadata) phases are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the trace in Chrome trace_event JSON (the
+// {"traceEvents": [...]} object form), one lane per span category, for
+// chrome://tracing or https://ui.perfetto.dev. Lanes are ordered by
+// first appearance so the "do" umbrella span sits on top.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil trace")
+	}
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+
+	lane := map[string]int{}
+	var events []chromeEvent
+	for _, s := range spans {
+		tid, ok := lane[s.Cat]
+		if !ok {
+			tid = len(lane) + 1
+			lane[s.Cat] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": s.Cat},
+			})
+		}
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tid,
+			Args: map[string]any{"iter": s.Iter},
+		}
+		if s.Bytes > 0 {
+			ev.Args["bytes"] = s.Bytes
+		}
+		events = append(events, ev)
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent     `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		Metadata        map[string]string `json:"metadata,omitempty"`
+	}{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]string{"request_id": t.ID()},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// idCounter backs the fallback ID path when crypto/rand is unavailable.
+var idCounter atomic.Int64
+
+// NewID returns a 16-hex-character request ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", idCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type traceKey struct{}
+type requestIDKey struct{}
+
+// ContextWithTrace attaches a trace to the context so layers below the
+// retriever (client, shard fetchers) can record spans. Attaching a nil
+// trace returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// ContextWithRequestID attaches a request ID for propagation as an
+// X-Request-Id header. An empty ID returns ctx unchanged.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// RequestIDHeader is the header name used to propagate request IDs from
+// client to server, where it is logged and echoed back.
+const RequestIDHeader = "X-Request-Id"
+
+// SanitizeRequestID validates an inbound request ID for logging and
+// echoing: at most 64 bytes of [A-Za-z0-9._-]. Anything else returns ""
+// so hostile header values never reach logs verbatim.
+func SanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}

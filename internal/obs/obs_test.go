@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := NewTrace()
+	if tr.ID() == "" || len(tr.ID()) != 16 {
+		t.Fatalf("trace ID %q, want 16 hex chars", tr.ID())
+	}
+	m := tr.BeginIter(CatFetch, "frag a/0/0", 2)
+	time.Sleep(time.Millisecond)
+	m.EndBytes(128)
+	tr.Begin(CatEstimate, "estimate").End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	f := spans[0]
+	if f.Cat != CatFetch || f.Name != "frag a/0/0" || f.Iter != 2 || f.Bytes != 128 {
+		t.Fatalf("fetch span wrong: %+v", f)
+	}
+	if f.Dur <= 0 {
+		t.Fatalf("fetch span duration %v, want > 0", f.Dur)
+	}
+	if got := tr.FetchBytes(); got != 128 {
+		t.Fatalf("FetchBytes %d, want 128", got)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Spans() != nil || tr.FetchBytes() != 0 {
+		t.Fatal("nil trace leaked state")
+	}
+	m := tr.Begin(CatPlan, "x")
+	m.End()
+	m.EndBytes(10) // double-End on a zero mark must also be a no-op
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteChromeTrace on nil trace should error")
+	}
+}
+
+// TestTraceDisabledZeroAlloc is the acceptance proof that the no-trace
+// path adds zero allocations: Begin/End on a nil trace and the context
+// helpers with nil/empty inputs must not touch the heap.
+func TestTraceDisabledZeroAlloc(t *testing.T) {
+	var tr *Trace
+	ctx := context.Background()
+	n := testing.AllocsPerRun(1000, func() {
+		m := tr.BeginIter(CatFetch, "frag", 1)
+		m.EndBytes(4096)
+		_ = TraceFrom(ctx)
+		_ = RequestIDFrom(ctx)
+		_ = ContextWithTrace(ctx, nil)
+		_ = ContextWithRequestID(ctx, "")
+	})
+	if n != 0 {
+		t.Fatalf("disabled tracing allocates %v times per op, want 0", n)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.BeginIter(CatDecode, "v", i).EndBytes(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := NewTrace()
+	ctx := ContextWithTrace(context.Background(), tr)
+	ctx = ContextWithRequestID(ctx, tr.ID())
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	if RequestIDFrom(ctx) != tr.ID() {
+		t.Fatal("RequestIDFrom lost the ID")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTrace()
+	tr.Begin(CatDo, "Do").End()
+	tr.BeginIter(CatFetch, "frags ge", 1).EndBytes(2048)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	// 2 spans + 2 thread_name metadata events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	if doc.Metadata["request_id"] != tr.ID() {
+		t.Fatalf("metadata request_id %q, want %q", doc.Metadata["request_id"], tr.ID())
+	}
+	var lanes, complete int
+	var sawBytes bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			lanes++
+		case "X":
+			complete++
+			if ev.Args["bytes"] == float64(2048) {
+				sawBytes = true
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if lanes != 2 || complete != 2 || !sawBytes {
+		t.Fatalf("lanes=%d complete=%d sawBytes=%v", lanes, complete, sawBytes)
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := map[string]string{
+		"abc-123_X.y":           "abc-123_X.y",
+		"":                      "",
+		"has space":             "",
+		"inject\nheader":        "",
+		strings.Repeat("a", 64): strings.Repeat("a", 64),
+		strings.Repeat("a", 65): "",
+		"quote\"":               "",
+		"0123456789abcdef":      "0123456789abcdef",
+	}
+	for in, want := range cases {
+		if got := SanitizeRequestID(in); got != want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

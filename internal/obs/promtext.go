@@ -1,0 +1,170 @@
+// promtext.go — a minimal Prometheus text-exposition (version 0.0.4)
+// parser. It exists so e2e tests can scrape a live /metrics endpoint
+// and fail on malformed lines or families missing their # HELP/# TYPE
+// metadata, without depending on the real Prometheus client libraries.
+
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricFamily is one parsed metric family: its metadata and how many
+// sample lines referenced it.
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Samples int
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(?:\s+(-?\d+))?$`)
+	labelRe      = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// ParseExposition parses Prometheus text exposition and validates it
+// strictly: every sample line must be well-formed (name, optional
+// labels, float value), and every sample must belong to a family that
+// declared both # HELP and # TYPE before its first sample. Histogram
+// and summary child series (_bucket/_sum/_count, quantile) resolve to
+// their base family. Returns the families by name.
+func ParseExposition(r io.Reader) (map[string]*MetricFamily, error) {
+	fams := map[string]*MetricFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP line: %q", lineNo, line)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &MetricFamily{Name: name}
+				fams[name] = f
+			}
+			if f.Help != "" {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			f.Help = help
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 || !metricNameRe.MatchString(parts[0]) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line: %q", lineNo, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, parts[1])
+			}
+			f := fams[parts[0]]
+			if f == nil {
+				f = &MetricFamily{Name: parts[0]}
+				fams[parts[0]] = f
+			}
+			if f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, parts[0])
+			}
+			f.Type = parts[1]
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and ignored.
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
+			}
+			name, labels, value := m[1], m[2], m[3]
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				if value != "+Inf" && value != "-Inf" && value != "NaN" {
+					return nil, fmt.Errorf("line %d: unparseable sample value %q", lineNo, value)
+				}
+			}
+			if labels != "" {
+				if err := validateLabels(labels); err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+			}
+			fam := resolveFamily(fams, name)
+			if fam == nil || fam.Help == "" || fam.Type == "" {
+				return nil, fmt.Errorf("line %d: sample %s has no preceding HELP/TYPE pair", lineNo, name)
+			}
+			fam.Samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// resolveFamily maps a sample name to its declaring family, resolving
+// histogram/summary child suffixes to the base family.
+func resolveFamily(fams map[string]*MetricFamily, name string) *MetricFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+// validateLabels checks a rendered label block like {a="x",le="+Inf"}.
+func validateLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for _, pair := range splitLabels(inner) {
+		if !labelRe.MatchString(pair) {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExpositionValid(t *testing.T) {
+	in := `# HELP up Whether the target is up.
+# TYPE up gauge
+up 1
+# HELP reqs_total Requests served.
+# TYPE reqs_total counter
+reqs_total{route="frag"} 12
+reqs_total{route="meta"} 3
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 0.42
+lat_seconds_count 3
+`
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	if fams["reqs_total"].Samples != 2 || fams["reqs_total"].Type != "counter" {
+		t.Fatalf("reqs_total: %+v", fams["reqs_total"])
+	}
+	if fams["lat_seconds"].Samples != 4 {
+		t.Fatalf("histogram children not attributed: %+v", fams["lat_seconds"])
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without metadata": "orphan_total 1\n",
+		"missing TYPE":            "# HELP x y\nx 1\n",
+		"missing HELP":            "# TYPE x counter\nx 1\n",
+		"bad value":               "# HELP x y\n# TYPE x counter\nx notanumber\n",
+		"bad sample line":         "# HELP x y\n# TYPE x counter\nx{,} 1\n",
+		"bad label pair":          "# HELP x y\n# TYPE x counter\nx{route=frag} 1\n",
+		"unknown type":            "# TYPE x sparkline\n",
+		"duplicate TYPE":          "# TYPE x counter\n# TYPE x counter\n",
+		"duplicate HELP":          "# HELP x a\n# HELP x b\n",
+		"malformed TYPE line":     "# TYPE onlyname\n",
+		"bucket without family":   "lat_bucket{le=\"+Inf\"} 1\n",
+		"bucket of a counter":     "# HELP c y\n# TYPE c counter\nc_bucket{le=\"1\"} 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestParseExpositionSpecialValues(t *testing.T) {
+	in := "# HELP x y\n# TYPE x gauge\nx{a=\"b\"} +Inf\nx{a=\"c\"} NaN\nx{a=\"d\"} 1.5e-9 1700000000\n"
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["x"].Samples != 3 {
+		t.Fatalf("samples %d, want 3", fams["x"].Samples)
+	}
+}

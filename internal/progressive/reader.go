@@ -13,6 +13,7 @@ import (
 	"progqoi/internal/encoding"
 	"progqoi/internal/grid"
 	"progqoi/internal/mgard"
+	"progqoi/internal/obs"
 	"progqoi/internal/sz"
 )
 
@@ -40,6 +41,13 @@ type Reader struct {
 	// workers bounds the decode pool used by Advance; 1 selects the plain
 	// sequential path. Parallel and sequential decode are bit-identical.
 	workers int
+
+	// trace, when non-nil, records one decode span per Advance that
+	// ingests fragments; traceName labels it (the variable name) and
+	// traceIter tags the owning retrieval iteration.
+	trace     *obs.Trace
+	traceName string
+	traceIter int
 
 	nextFrag  int
 	bound     float64
@@ -109,6 +117,18 @@ func (rd *Reader) SetWorkers(n int) {
 
 // Workers returns the current decode-pool bound.
 func (rd *Reader) Workers() int { return rd.workers }
+
+// SetTrace attaches a span recorder labelled with the variable name this
+// reader serves. A nil trace (the default) records nothing and leaves
+// the ingest path allocation-free.
+func (rd *Reader) SetTrace(tr *obs.Trace, name string) {
+	rd.trace = tr
+	rd.traceName = name
+}
+
+// SetTraceIter tags subsequent decode spans with the owning retrieval
+// iteration number.
+func (rd *Reader) SetTraceIter(iter int) { rd.traceIter = iter }
 
 // Bound returns the current guaranteed L∞ bound of Data() versus the
 // original field. Before any fragment arrives it is +Inf for snapshot
@@ -185,6 +205,10 @@ func (rd *Reader) Advance(ctx context.Context, target float64) (float64, error) 
 		return rd.bound, fmt.Errorf("%w: target %g", ErrBadRequest, target)
 	}
 	plan := rd.Plan(target)
+	if rd.trace != nil && len(plan) > 0 {
+		m := rd.trace.BeginIter(obs.CatDecode, rd.traceName, rd.traceIter)
+		defer m.End()
+	}
 	var err error
 	if rd.workers > 1 && len(plan) > 1 {
 		switch rd.src.Method {

@@ -64,8 +64,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -74,6 +75,7 @@ import (
 	"time"
 
 	"progqoi/internal/core"
+	"progqoi/internal/obs"
 	"progqoi/internal/storage"
 )
 
@@ -105,10 +107,15 @@ type Options struct {
 	// server itself never contacts them: sharding and failover are
 	// client-side concerns.
 	Peers []string
-	// LogRequests emits one log line per request via Logger.
+	// LogRequests emits one structured record per request via Log: route,
+	// method, path, status, response bytes, duration, request ID, and
+	// remote address. Observability probes (/healthz, /metrics) log at
+	// debug level so a scraped node stays quiet at the default level.
 	LogRequests bool
-	// Logger receives request logs (default log.Default()).
-	Logger *log.Logger
+	// Log receives structured records (request logs when LogRequests is
+	// set, plus operational notices like hot publishes). Nil disables
+	// logging.
+	Log *slog.Logger
 	// AdminToken enables the admin surface (POST /v1/datasets/reload) when
 	// non-empty: requests must present it as "Authorization: Bearer
 	// <token>". Empty keeps the admin routes disabled (403) — hot publish
@@ -223,6 +230,12 @@ type Server struct {
 	reloadFailures atomic.Int64
 	datasetsLoaded atomic.Int64
 	routeReqs      [10]atomic.Int64 // indexed like routeLabels
+
+	// Latency and size distributions, exposed at /metrics as Prometheus
+	// histograms (fixed buckets, stdlib only).
+	routeHist   [10]*obs.Histogram // request latency, indexed like routeLabels
+	fragsReqHB  *obs.Histogram     // frags request body bytes
+	fragsRespHB *obs.Histogram     // frags response bytes (post-compression)
 }
 
 // New scans st for archives (keys ending in ".manifest", as written by
@@ -240,9 +253,6 @@ func New(st storage.Store, opt Options) (*Server, error) {
 	} else if opt.HotCacheBytes < 0 {
 		opt.HotCacheBytes = 0
 	}
-	if opt.Logger == nil {
-		opt.Logger = log.Default()
-	}
 	s := &Server{
 		store: st,
 		opts:  opt,
@@ -250,6 +260,11 @@ func New(st storage.Store, opt Options) (*Server, error) {
 		start: time.Now(),
 		hot:   newHotCache(opt.HotCacheBytes),
 	}
+	for i := range s.routeHist {
+		s.routeHist[i] = obs.NewHistogram(obs.LatencyBuckets()...)
+	}
+	s.fragsReqHB = obs.NewHistogram(obs.ByteBuckets()...)
+	s.fragsRespHB = obs.NewHistogram(obs.ByteBuckets()...)
 	cat, err := s.loadCatalog(nil)
 	if err != nil {
 		return nil, err
@@ -407,7 +422,34 @@ func (s *Server) Reload() (ReloadResult, error) {
 	return res, nil
 }
 
-// counted wraps a handler with its per-route request counter.
+// countingWriter captures the status code and response byte count as they
+// pass through to the underlying ResponseWriter — what the latency, byte
+// histograms, and access log report per request.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	if cw.status == 0 {
+		cw.status = code
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	n, err := cw.ResponseWriter.Write(p)
+	cw.bytes += int64(n)
+	return n, err
+}
+
+// counted wraps a handler with its per-route instrumentation: request
+// counter, latency histogram, frags byte histograms, X-Request-Id echo,
+// and (when enabled) one structured access-log record.
 func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 	ri := -1
 	for i, l := range routeLabels {
@@ -421,7 +463,42 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.routeReqs[ri].Add(1)
-		h(w, r)
+		// Echo a well-formed client request ID so both sides of the wire
+		// log the same correlation handle; hostile values are dropped.
+		rid := obs.SanitizeRequestID(r.Header.Get(obs.RequestIDHeader))
+		if rid != "" {
+			w.Header().Set(obs.RequestIDHeader, rid)
+		}
+		cw := &countingWriter{ResponseWriter: w}
+		start := time.Now()
+		h(cw, r)
+		dur := time.Since(start)
+		s.routeHist[ri].Observe(dur.Seconds())
+		if route == "frags" {
+			if r.ContentLength >= 0 {
+				s.fragsReqHB.Observe(float64(r.ContentLength))
+			}
+			s.fragsRespHB.Observe(float64(cw.bytes))
+		}
+		if s.opts.LogRequests && s.opts.Log != nil {
+			status := cw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			lvl := slog.LevelInfo
+			if route == "healthz" || route == "metrics" {
+				lvl = slog.LevelDebug // probes stay quiet at the default level
+			}
+			s.opts.Log.LogAttrs(r.Context(), lvl, "request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Int64("bytes", cw.bytes),
+				slog.Duration("duration", dur),
+				slog.String("request_id", rid),
+				slog.String("remote", r.RemoteAddr))
+		}
 	}
 }
 
@@ -495,9 +572,6 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() { <-s.sem }()
 	release := s.countRequest(true)
 	defer release()
-	if s.opts.LogRequests {
-		s.opts.Logger.Printf("progqoid: %s %s from %s", r.Method, r.URL.Path, r.RemoteAddr)
-	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -559,8 +633,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics renders the Prometheus text exposition format (version
-// 0.0.4) with the stdlib only: request counts per route, batch sizes,
-// cache hit/miss/eviction counters, in-flight gauge, and bytes served.
+// 0.0.4) with the stdlib only: request counts and latency histograms per
+// route, frags request/response byte histograms, batch sizes, cache
+// hit/miss/eviction counters, in-flight gauge, bytes served, and Go
+// runtime gauges (goroutines, heap, GC).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	var b strings.Builder
@@ -589,6 +665,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("progqoid_reloads_total", "counter", "Successful hot publishes (POST /v1/datasets/reload catalog swaps).", st.Reloads)
 	metric("progqoid_reload_failures_total", "counter", "Hot publishes rejected by store validation (catalog kept).", st.ReloadFailures)
 	metric("progqoid_datasets_loaded_total", "counter", "Datasets ingested into a serving catalog, at startup and on each reload.", st.DatasetsLoaded)
+
+	// Latency and size distributions.
+	obs.WriteFamilyHeader(&b, "progqoid_request_duration_seconds", "histogram", "Request handling latency, by route family.")
+	for i, l := range routeLabels {
+		obs.WriteHistogramSeries(&b, "progqoid_request_duration_seconds", `route="`+l+`"`, s.routeHist[i].Snapshot())
+	}
+	obs.WriteFamilyHeader(&b, "progqoid_frags_request_bytes", "histogram", "Batched fragment POST request body sizes.")
+	obs.WriteHistogramSeries(&b, "progqoid_frags_request_bytes", "", s.fragsReqHB.Snapshot())
+	obs.WriteFamilyHeader(&b, "progqoid_frags_response_bytes", "histogram", "Batched fragment response sizes as written to the wire (after compression).")
+	obs.WriteHistogramSeries(&b, "progqoid_frags_response_bytes", "", s.fragsRespHB.Snapshot())
+
+	// Go runtime gauges, so a scrape sees resource pressure without pprof.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	metric("progqoid_goroutines", "gauge", "Goroutines currently live in the process.", runtime.NumGoroutine())
+	metric("progqoid_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.", ms.HeapAlloc)
+	metric("progqoid_heap_sys_bytes", "gauge", "Bytes of heap memory obtained from the OS.", ms.HeapSys)
+	metric("progqoid_gc_cycles_total", "counter", "Completed GC cycles.", ms.NumGC)
+	metric("progqoid_gc_pause_seconds_total", "counter", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String())) //nolint:errcheck
 }
@@ -631,8 +727,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if s.opts.LogRequests {
-		s.opts.Logger.Printf("progqoid: reload: serving %v (+%v -%v)", res.Datasets, res.Added, res.Removed)
+	if s.opts.Log != nil {
+		s.opts.Log.Info("reload",
+			slog.Any("datasets", res.Datasets),
+			slog.Any("added", res.Added),
+			slog.Any("removed", res.Removed))
 	}
 	b, _ := json.Marshal(res)
 	writeBlob(w, r, b, "", "application/json", false)

@@ -14,6 +14,7 @@ import (
 
 	"progqoi/internal/core"
 	"progqoi/internal/datagen"
+	"progqoi/internal/obs"
 	"progqoi/internal/progressive"
 	"progqoi/internal/storage"
 )
@@ -512,8 +513,10 @@ func TestMetricsExposition(t *testing.T) {
 	if mresp.StatusCode != 200 {
 		t.Fatalf("/metrics: %s", mresp.Status)
 	}
-	if ct := mresp.Header.Get("Content-Type"); !bytes.Contains([]byte(ct), []byte("text/plain")) {
-		t.Fatalf("content type %q", ct)
+	// Prometheus requires the exact versioned media type for the text
+	// exposition format; a bare text/plain makes some scrapers guess.
+	if ct, want := mresp.Header.Get("Content-Type"), "text/plain; version=0.0.4; charset=utf-8"; ct != want {
+		t.Fatalf("content type %q, want %q", ct, want)
 	}
 	text := string(mbody)
 	for _, want := range []string{
@@ -527,10 +530,30 @@ func TestMetricsExposition(t *testing.T) {
 		"progqoid_hot_cache_hits_total",
 		"progqoid_hot_cache_misses_total",
 		"# TYPE progqoid_requests_total counter",
+		"# TYPE progqoid_request_duration_seconds histogram",
+		`progqoid_request_duration_seconds_bucket{route="frag",le="+Inf"} 1`,
+		`progqoid_request_duration_seconds_count{route="frags"} 1`,
+		"# TYPE progqoid_frags_request_bytes histogram",
+		"progqoid_frags_request_bytes_count 1",
+		"# TYPE progqoid_frags_response_bytes histogram",
+		"progqoid_frags_response_bytes_count 1",
+		"# TYPE progqoid_goroutines gauge",
+		"# TYPE progqoid_heap_alloc_bytes gauge",
+		"# TYPE progqoid_gc_pause_seconds_total counter",
 	} {
 		if !bytes.Contains(mbody, []byte(want)) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, text)
 		}
+	}
+
+	// The whole document must survive the strict exposition parser: every
+	// sample preceded by HELP and TYPE, histogram children well-formed.
+	fams, err := obs.ParseExposition(bytes.NewReader(mbody))
+	if err != nil {
+		t.Fatalf("/metrics failed strict exposition parse: %v\n%s", err, text)
+	}
+	if f := fams["progqoid_request_duration_seconds"]; f == nil || f.Type != "histogram" || f.Samples == 0 {
+		t.Fatalf("request_duration_seconds family malformed: %+v", fams["progqoid_request_duration_seconds"])
 	}
 }
 

@@ -1,0 +1,34 @@
+package progqoi
+
+// obs_bench_test.go pairs the same QoI-certified retrieval with tracing
+// off and on. The off variant is the proof that threading *obs.Trace
+// through the retrieval core costs nothing when unused — its allocs/op
+// and B/op are gated by benchgate, so an accidental allocation on the
+// nil-trace path (e.g. building a span name before the nil check) fails
+// CI rather than taxing every untraced retrieval.
+
+import (
+	"testing"
+
+	"progqoi/internal/core"
+	"progqoi/internal/datagen"
+	"progqoi/internal/obs"
+	"progqoi/internal/progressive"
+)
+
+func benchDoTrace(b *testing.B, traced bool) {
+	ds := datagen.GESmall()
+	vars := refactorFor(b, ds, progressive.PMGARDHB, progressive.GreedyOrder)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tr *obs.Trace
+		if traced {
+			tr = obs.NewTrace()
+		}
+		retrieveVTOT(b, vars, core.Config{Trace: tr}, 1e-4, ds)
+	}
+}
+
+func BenchmarkDoTraceOff(b *testing.B) { benchDoTrace(b, false) }
+func BenchmarkDoTraceOn(b *testing.B)  { benchDoTrace(b, true) }

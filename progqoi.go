@@ -83,6 +83,7 @@ import (
 
 	"progqoi/internal/client"
 	"progqoi/internal/core"
+	"progqoi/internal/obs"
 	"progqoi/internal/progressive"
 	"progqoi/internal/qoi"
 )
@@ -417,6 +418,25 @@ func WithSessionConfig(cfg SessionConfig) OpenOption {
 // bit-identical to the sequential path.
 func WithWorkers(n int) OpenOption {
 	return func(o *openOptions) { o.cfg.Workers = n }
+}
+
+// Trace collects timed spans from a retrieval session: the plan, fetch,
+// decode, commit, and estimate phases of every iteration, plus (for remote
+// archives) each wire request with its byte count. A Trace is safe for
+// concurrent use and may be shared across sessions; render one with
+// WriteChromeTrace for chrome://tracing / Perfetto, or walk Spans directly.
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace recorder with a fresh request ID.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// WithTrace records the session's retrieval phases into tr. On a remote
+// archive the trace's ID also travels as the X-Request-Id header of every
+// wire request, so server access logs can be joined with client spans.
+// A nil tr is ignored; sessions opened without WithTrace pay no tracing
+// overhead (zero extra allocations on the retrieval path).
+func WithTrace(tr *Trace) OpenOption {
+	return func(o *openOptions) { o.cfg.Trace = tr }
 }
 
 // Session is an incremental QoI-preserving retrieval session: a stateful
