@@ -19,10 +19,10 @@ import (
 
 var quick = experiments.Opts{Quick: true}
 
-func benchExperiment(b *testing.B, fn func(experiments.Opts) string) {
+func benchExperiment(b *testing.B, fn func(context.Context, experiments.Opts) string) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		out := fn(quick)
+		out := fn(context.Background(), quick)
 		if len(out) < 50 {
 			b.Fatalf("experiment output too short: %q", out)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +26,9 @@ func main() {
 	quick := flag.Bool("quick", false, "benchmark-scale datasets and sweeps")
 	flag.Parse()
 
+	ctx := context.Background()
 	o := experiments.Opts{Quick: *quick}
-	runners := map[string]func(experiments.Opts) string{
+	runners := map[string]func(context.Context, experiments.Opts) string{
 		"table3": experiments.Table3,
 		"fig2":   experiments.Fig2,
 		"fig3":   experiments.Fig3,
@@ -46,6 +48,6 @@ func main() {
 		os.Exit(2)
 	}
 	start := time.Now()
-	fmt.Println(fn(o))
+	fmt.Println(fn(ctx, o))
 	fmt.Printf("\n[%s completed in %.1f s]\n", *exp, time.Since(start).Seconds())
 }

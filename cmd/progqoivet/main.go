@@ -1,0 +1,46 @@
+// Command progqoivet is the repository's custom static-analysis suite:
+// a go/analysis vettool whose analyzers machine-enforce invariants that
+// were previously defended only by prose, tests, and code review.
+//
+// Run it through go vet:
+//
+//	go build -o progqoivet ./cmd/progqoivet
+//	go vet -vettool=$PWD/progqoivet ./...
+//
+// Analyzers (each package's doc comment states the full invariant and
+// the PR that motivated it):
+//
+//	lockguard    "guarded by <mu>" fields accessed only under their mutex (PR 4 /healthz race)
+//	traceguard   allocating obs span calls sit behind a nil-Trace guard (PR 6 zero-alloc contract)
+//	ctxflow      contexts flow end to end; no fresh roots below main (PR 2 context contract)
+//	errwrapcheck sentinels matched with errors.Is and wrapped with %w (PR 2 ErrBadRequest contract)
+//	flagmode     flag.NewFlagSet always uses ContinueOnError (the twice-fixed PR 4/5 bug)
+//	slogonly     the serving path logs through log/slog only (PR 6 structured logging)
+//
+// A finding can be suppressed — with a mandatory reason — by the
+// directive described in internal/analysis/analysisutil:
+//
+//	//progqoivet:allow <analyzer> -- <reason>
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"progqoi/internal/analysis/ctxflow"
+	"progqoi/internal/analysis/errwrapcheck"
+	"progqoi/internal/analysis/flagmode"
+	"progqoi/internal/analysis/lockguard"
+	"progqoi/internal/analysis/slogonly"
+	"progqoi/internal/analysis/traceguard"
+)
+
+func main() {
+	unitchecker.Main(
+		lockguard.Analyzer,
+		traceguard.Analyzer,
+		ctxflow.Analyzer,
+		errwrapcheck.Analyzer,
+		flagmode.Analyzer,
+		slogonly.Analyzer,
+	)
+}

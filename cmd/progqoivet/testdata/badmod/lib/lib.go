@@ -1,0 +1,21 @@
+// Package lib deliberately violates two progqoivet invariants — a fresh
+// root context in library code and a flag.ExitOnError flag set — so the
+// CLI test can assert the diagnostics surface through go vet -vettool
+// and fail the build.
+package lib
+
+import (
+	"context"
+	"flag"
+)
+
+// Fresh detaches from the caller's cancellation: ctxflow must flag it.
+func Fresh() context.Context {
+	return context.Background()
+}
+
+// NewFlags reproduces the PR 4/PR 5 ExitOnError regression: flagmode
+// must flag it.
+func NewFlags() *flag.FlagSet {
+	return flag.NewFlagSet("bad", flag.ExitOnError)
+}

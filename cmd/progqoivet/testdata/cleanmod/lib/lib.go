@@ -1,0 +1,21 @@
+// Package lib conforms to every progqoivet invariant; the CLI test
+// asserts the vettool exits zero over it.
+package lib
+
+import (
+	"context"
+	"flag"
+)
+
+// Default uses the blessed nil-context defaulting shape.
+func Default(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// NewFlags uses the mandated error handling mode.
+func NewFlags() *flag.FlagSet {
+	return flag.NewFlagSet("good", flag.ContinueOnError)
+}

@@ -108,7 +108,7 @@ func main() {
 
 	// Later: a new simulation run lands while the server keeps serving.
 	namesB, fieldsB := pack(st, "run-001", 1<<15, 1.7)
-	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/datasets/reload", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/v1/datasets/reload", nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,3 +1,11 @@
 module progqoi
 
 go 1.23
+
+// The x/tools dependency exists only for cmd/progqoivet (the custom
+// go/analysis vettool) and internal/analysis; the library packages stay
+// stdlib-only. It resolves to the vendored subset under third_party so
+// the build needs no network access.
+require golang.org/x/tools v0.30.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"progqoi/internal/analysis/analyzertest"
+	"progqoi/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, ctxflow.Analyzer, "ctxfix")
+}
+
+func TestCtxFlowMainExempt(t *testing.T) {
+	analyzertest.Run(t, ctxflow.Analyzer, "ctxmain")
+}

@@ -1,0 +1,13 @@
+// Command ctxmain proves the package-main exemption: roots start here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: main owns the root context
+	helper(ctx)
+}
+
+func helper(ctx context.Context) {
+	_ = ctx
+}

@@ -1,0 +1,12 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"progqoi/internal/analysis/analyzertest"
+	"progqoi/internal/analysis/errwrapcheck"
+)
+
+func TestErrWrapCheck(t *testing.T) {
+	analyzertest.Run(t, errwrapcheck.Analyzer, "errfix")
+}

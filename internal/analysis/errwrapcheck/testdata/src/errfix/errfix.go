@@ -1,0 +1,57 @@
+// Package errfix exercises the sentinel-error discipline: errors.Is for
+// matching, %w at wrap sites.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrCorrupt = errors.New("errfix: corrupt fragment")
+var ErrBadRequest = errors.New("errfix: bad request")
+
+// notSentinel is package-level but not named Err*.
+var errInternal = errors.New("errfix: internal")
+
+func compare(err error) int {
+	if err == ErrCorrupt { // want `errors\.Is`
+		return 1
+	}
+	if err != io.EOF { // want `errors\.Is`
+		return 2
+	}
+	if errors.Is(err, ErrCorrupt) { // ok: the blessed form
+		return 3
+	}
+	if err == errInternal { // ok: not a sentinel by naming convention
+		return 4
+	}
+	if err == nil { // ok: nil tests are not classification
+		return 5
+	}
+	return 0
+}
+
+// identity tests between two sentinels (e.g. in the defining package's
+// own tests) are not classification.
+func identity() bool {
+	return ErrCorrupt == io.EOF //nolint:errorlint // ok for the fixture
+}
+
+func wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	_ = fmt.Errorf("load fragment: %v", ErrCorrupt)    // want `wrap with %w`
+	_ = fmt.Errorf("load %s: %s", "v1", ErrBadRequest) // want `wrap with %w`
+	_ = fmt.Errorf("load fragment: %w", ErrCorrupt)    // ok
+	_ = fmt.Errorf("load %s: %w", "v1", ErrBadRequest) // ok
+	_ = fmt.Errorf("plain value %v", err)              // ok: not a sentinel
+	return fmt.Errorf("read: %w", io.ErrUnexpectedEOF)
+}
+
+func suppressed(err error) bool {
+	//progqoivet:allow errwrapcheck -- fixture: documents the escape hatch
+	return err == ErrCorrupt
+}

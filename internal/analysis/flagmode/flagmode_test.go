@@ -1,0 +1,12 @@
+package flagmode_test
+
+import (
+	"testing"
+
+	"progqoi/internal/analysis/analyzertest"
+	"progqoi/internal/analysis/flagmode"
+)
+
+func TestFlagMode(t *testing.T) {
+	analyzertest.Run(t, flagmode.Analyzer, "flagfix")
+}

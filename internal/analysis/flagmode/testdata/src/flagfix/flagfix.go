@@ -1,0 +1,33 @@
+// Package flagfix reproduces the twice-shipped ExitOnError bug (PRs 4
+// and 5): flag sets built with anything but ContinueOnError.
+package flagfix
+
+import "flag"
+
+// bad is the PR 4/PR 5 regression shape: os.Exit from inside parsing.
+func bad() *flag.FlagSet {
+	return flag.NewFlagSet("serve", flag.ExitOnError) // want `flag\.ContinueOnError`
+}
+
+func alsoBad() *flag.FlagSet {
+	return flag.NewFlagSet("get", flag.PanicOnError) // want `flag\.ContinueOnError`
+}
+
+func indirect(mode flag.ErrorHandling) *flag.FlagSet {
+	// A mode the analyzer cannot prove is ContinueOnError is reported:
+	// the convention is to name the constant at the call site.
+	return flag.NewFlagSet("put", mode) // want `flag\.ContinueOnError`
+}
+
+func good() *flag.FlagSet {
+	return flag.NewFlagSet("serve", flag.ContinueOnError)
+}
+
+func goodParenthesized() *flag.FlagSet {
+	return flag.NewFlagSet("serve", (flag.ContinueOnError))
+}
+
+func suppressed() *flag.FlagSet {
+	//progqoivet:allow flagmode -- fixture: documents the escape hatch
+	return flag.NewFlagSet("legacy", flag.ExitOnError)
+}

@@ -1,0 +1,32 @@
+// Package slogfix exercises the structured-logging invariant: no stdlib
+// log and no implicit-stdout fmt printing outside func main.
+package slogfix
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+func handler(lg *slog.Logger) {
+	log.Printf("served %d bytes", 42) // want `log through \*slog\.Logger`
+	log.Println("done")               // want `log through \*slog\.Logger`
+	fmt.Println("served")             // want `log through \*slog\.Logger`
+	fmt.Printf("served %d\n", 42)     // want `log through \*slog\.Logger`
+
+	lg.Info("served", "bytes", 42)             // ok: structured
+	fmt.Fprintf(os.Stderr, "fatal: %v\n", nil) // ok: explicit writer
+	_ = fmt.Sprintf("id-%d", 42)               // ok: no I/O
+}
+
+// main is the bootstrap exemption: usage errors precede the logger.
+func main() {
+	fmt.Println("usage: progqoid [flags]")
+	log.Fatal("cannot start")
+}
+
+func suppressed() {
+	//progqoivet:allow slogonly -- fixture: documents the escape hatch
+	fmt.Println("migration notice")
+}

@@ -1,0 +1,44 @@
+// Package obs is a stand-in for progqoi/internal/obs: the analyzer
+// matches the Trace type by package name, so the fixture only needs the
+// same shape, not the real implementation.
+package obs
+
+// Category labels a span.
+type Category uint8
+
+// Span categories mirrored from the real recorder.
+const (
+	CatDecode Category = iota
+	CatFetch
+	CatIter
+)
+
+// SpanMark is the zero-alloc span handle.
+type SpanMark struct{ t *Trace }
+
+// EndBytes closes the span. Nil-safe.
+func (m SpanMark) EndBytes(n int) { _ = n }
+
+// Trace records spans; all methods are nil-safe.
+type Trace struct{ spans int }
+
+// Begin opens a span. Nil-safe, but its arguments are evaluated first.
+func (t *Trace) Begin(c Category, name string) SpanMark {
+	if t == nil {
+		return SpanMark{}
+	}
+	t.spans++
+	return SpanMark{t: t}
+}
+
+// BeginIter opens an iteration span. Nil-safe.
+func (t *Trace) BeginIter(name string) SpanMark {
+	if t == nil {
+		return SpanMark{}
+	}
+	t.spans++
+	return SpanMark{t: t}
+}
+
+// TraceFrom mirrors the context accessor.
+func TraceFrom() *Trace { return nil }

@@ -1,0 +1,63 @@
+// Package tracefix exercises the zero-alloc tracing contract: span
+// calls whose arguments allocate must be nil-guarded.
+package tracefix
+
+import (
+	"strconv"
+
+	"obs"
+)
+
+func unguardedConcat(tr *obs.Trace, fi int) {
+	tr.Begin(obs.CatFetch, "frag "+strconv.Itoa(fi)) // want `zero-alloc`
+}
+
+func unguardedCall(tr *obs.Trace, fi int) {
+	tr.BeginIter(strconv.Itoa(fi)) // want `zero-alloc`
+}
+
+func constantName(tr *obs.Trace) {
+	tr.Begin(obs.CatDecode, "decode header") // ok: constant args cost nothing on a nil trace
+}
+
+func plainLoads(tr *obs.Trace, names []string, s struct{ route string }) {
+	tr.BeginIter(names[0])         // ok: indexing is a load, not an allocation
+	tr.Begin(obs.CatIter, s.route) // ok: field load
+}
+
+func guardedParam(tr *obs.Trace, fi int) {
+	if tr != nil {
+		tr.Begin(obs.CatFetch, "frag "+strconv.Itoa(fi)) // ok: proven non-nil
+	}
+}
+
+func guardedInit(fi int) {
+	if tr := obs.TraceFrom(); tr != nil {
+		tr.Begin(obs.CatFetch, "frag "+strconv.Itoa(fi)) // ok: the canonical core.go shape
+	}
+}
+
+func guardedConjunction(tr *obs.Trace, fi int) {
+	if tr != nil && fi > 0 {
+		tr.BeginIter("iter " + strconv.Itoa(fi)) // ok: != nil appears in the conjunction
+	}
+}
+
+func elseOfGuard(tr *obs.Trace, fi int) {
+	if tr != nil {
+		_ = fi
+	} else {
+		tr.BeginIter(strconv.Itoa(fi)) // want `zero-alloc`
+	}
+}
+
+func wrongGuard(tr, other *obs.Trace, fi int) {
+	if other != nil {
+		tr.BeginIter(strconv.Itoa(fi)) // want `zero-alloc`
+	}
+}
+
+func suppressed(tr *obs.Trace, fi int) {
+	//progqoivet:allow traceguard -- fixture: cold path, allocation accepted
+	tr.BeginIter(strconv.Itoa(fi))
+}

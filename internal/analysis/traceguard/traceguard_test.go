@@ -1,0 +1,12 @@
+package traceguard_test
+
+import (
+	"testing"
+
+	"progqoi/internal/analysis/analyzertest"
+	"progqoi/internal/analysis/traceguard"
+)
+
+func TestTraceGuard(t *testing.T) {
+	analyzertest.Run(t, traceguard.Analyzer, "tracefix")
+}

@@ -10,11 +10,11 @@ import (
 // hit costs no copy.
 type lruCache struct {
 	mu        sync.Mutex
-	capBytes  int64
-	size      int64
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	evictions int64
+	capBytes  int64                    // immutable after construction
+	size      int64                    // guarded by mu
+	ll        *list.List               // guarded by mu; front = most recently used
+	items     map[string]*list.Element // guarded by mu
+	evictions int64                    // guarded by mu
 }
 
 type lruEntry struct {

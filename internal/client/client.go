@@ -174,10 +174,10 @@ type Client struct {
 	cache *lruCache
 
 	mu       sync.Mutex
-	inflight map[string]*call
+	inflight map[string]*call // guarded by mu
 
 	idxMu   sync.Mutex
-	indexes map[string]*server.Index
+	indexes map[string]*server.Index // guarded by idxMu
 
 	wireBytes    atomic.Int64
 	wireRequests atomic.Int64

@@ -70,9 +70,9 @@ type endpoint struct {
 	hash uint64 // fnv64(base), precomputed for rendezvous scoring
 
 	mu        sync.Mutex
-	state     breakerState
-	failures  int // consecutive
-	openUntil time.Time
+	state     breakerState // guarded by mu
+	failures  int          // guarded by mu; consecutive
+	openUntil time.Time    // guarded by mu
 
 	requests atomic.Int64
 	errors   atomic.Int64

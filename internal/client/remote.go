@@ -40,6 +40,7 @@ func (s *RemoteStore) Put(key string, val []byte) error {
 // Get implements storage.Store. The storage.Store interface carries no
 // context, so reads run under context.Background().
 func (s *RemoteStore) Get(key string) ([]byte, error) {
+	//progqoivet:allow ctxflow -- storage.Store carries no context; adapter reads run under a root
 	b, err := s.c.do(context.Background(), "GET", "/v1/store/blob/"+key, nil, "")
 	var he *HTTPError
 	if errors.As(err, &he) && he.Status == 404 {
@@ -50,6 +51,7 @@ func (s *RemoteStore) Get(key string) ([]byte, error) {
 
 // Keys implements storage.Store.
 func (s *RemoteStore) Keys() ([]string, error) {
+	//progqoivet:allow ctxflow -- storage.Store carries no context; adapter reads run under a root
 	b, err := s.c.do(context.Background(), "GET", "/v1/store/keys", nil, "")
 	if err != nil {
 		return nil, err
@@ -271,6 +273,7 @@ func (r *Remote) readAhead(ctx context.Context, need [][]int, vars []*core.Varia
 	tr, rid := obs.TraceFrom(ctx), obs.RequestIDFrom(ctx)
 	go func() {
 		defer r.specWG.Done()
+		//progqoivet:allow ctxflow -- speculative read-ahead must outlive the iteration that spawned it
 		sctx, cancel := context.WithTimeout(context.Background(), readAheadTimeout)
 		defer cancel()
 		sctx = obs.ContextWithRequestID(obs.ContextWithTrace(sctx, tr), rid)

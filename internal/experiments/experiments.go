@@ -86,7 +86,7 @@ var methodsFig7 = []progressive.Method{
 }
 
 // Table3 prints the dataset inventory (paper Table III, at stand-in scale).
-func Table3(o Opts) string {
+func Table3(ctx context.Context, o Opts) string {
 	t := &stats.Table{Header: []string{"Dataset", "Dimensions", "nv", "Type", "Size", "QoIs"}}
 	add := func(ds *datagen.Dataset, qoiDesc string) {
 		dims := make([]string, len(ds.Dims))
@@ -111,7 +111,7 @@ var fig2Fields = []string{"VelocityX", "VelocityZ", "Pressure", "Density"}
 // Fig2 sweeps successively tighter primary-data error bounds through a
 // single progressive session per compressor and reports the resulting
 // bitrate (paper Fig. 2).
-func Fig2(o Opts) string {
+func Fig2(ctx context.Context, o Opts) string {
 	ds := o.geSmall()
 	var b strings.Builder
 	fmt.Fprintln(&b, "Fig. 2: requested PD relative error vs bitrate (bits/value), per compressor")
@@ -134,7 +134,7 @@ func Fig2(o Opts) string {
 				return "fig2: " + err.Error()
 			}
 			for ti, rel := range targets {
-				if _, err := rd.Advance(context.Background(), rel*rng); err != nil {
+				if _, err := rd.Advance(ctx, rel*rng); err != nil {
 					return "fig2: " + err.Error()
 				}
 				rows[ti][mi] = stats.Bitrate(rd.RetrievedBytes(), len(data))
@@ -150,7 +150,7 @@ func Fig2(o Opts) string {
 
 // Fig3 compares the orthogonal (OB) and hierarchical (HB) bases: requested
 // tolerance vs the estimated bound vs the real error (paper Fig. 3).
-func Fig3(o Opts) string {
+func Fig3(ctx context.Context, o Opts) string {
 	ds := o.geSmall()
 	var b strings.Builder
 	fmt.Fprintln(&b, "Fig. 3: requested vs estimated vs real PD error, OB (PMGARD) vs HB (PMGARD-HB)")
@@ -173,7 +173,7 @@ func Fig3(o Opts) string {
 				return "fig3: " + err.Error()
 			}
 			for _, rel := range targets {
-				bound, err := rd.Advance(context.Background(), rel*rng)
+				bound, err := rd.Advance(ctx, rel*rng)
 				if err != nil {
 					return "fig3: " + err.Error()
 				}
@@ -200,7 +200,7 @@ func Fig3(o Opts) string {
 // qoiSweep runs the Figs. 4–6 protocol on one dataset: a PMGARD-HB session
 // per QoI, sweeping requested relative QoI tolerances and reporting the max
 // estimated and max actual relative errors plus bitrate.
-func qoiSweep(ds *datagen.Dataset, o Opts, nTargets int) (string, error) {
+func qoiSweep(ctx context.Context, ds *datagen.Dataset, o Opts, nTargets int) (string, error) {
 	ranges := core.QoIRanges(ds.QoIs, ds.Fields)
 	targets := o.sweep(nTargets)
 	vars, err := core.RefactorVariables(ds.FieldNames, ds.Fields, ds.Dims, core.RefactorOptions{
@@ -219,7 +219,7 @@ func qoiSweep(ds *datagen.Dataset, o Opts, nTargets int) (string, error) {
 		}
 		t := &stats.Table{Header: []string{"req_rel_tol", "bitrate", "max_est_rel", "max_actual_rel"}}
 		for _, rel := range targets {
-			res, err := rt.Retrieve(context.Background(), core.Request{
+			res, err := rt.Retrieve(ctx, core.Request{
 				QoIs:       []qoi.QoI{q},
 				Tolerances: []float64{rel * ranges[k]},
 				InitRel:    []float64{rel},
@@ -239,8 +239,8 @@ func qoiSweep(ds *datagen.Dataset, o Opts, nTargets int) (string, error) {
 }
 
 // Fig4 is the GE-small QoI error-control experiment (paper Fig. 4).
-func Fig4(o Opts) string {
-	out, err := qoiSweep(o.geSmall(), o, 20)
+func Fig4(ctx context.Context, o Opts) string {
+	out, err := qoiSweep(ctx, o.geSmall(), o, 20)
 	if err != nil {
 		return "fig4: " + err.Error()
 	}
@@ -249,11 +249,11 @@ func Fig4(o Opts) string {
 
 // Fig5 runs the same protocol for total velocity on NYX and Hurricane
 // (paper Fig. 5).
-func Fig5(o Opts) string {
+func Fig5(ctx context.Context, o Opts) string {
 	var b strings.Builder
 	fmt.Fprint(&b, "Fig. 5: max estimated / actual QoI errors vs requested (PMGARD-HB, NYX & Hurricane)")
 	for _, ds := range []*datagen.Dataset{o.nyx(), o.hurricane()} {
-		out, err := qoiSweep(ds, o, 20)
+		out, err := qoiSweep(ctx, ds, o, 20)
 		if err != nil {
 			return "fig5: " + err.Error()
 		}
@@ -263,8 +263,8 @@ func Fig5(o Opts) string {
 }
 
 // Fig6 runs the molar-concentration products on S3D (paper Fig. 6).
-func Fig6(o Opts) string {
-	out, err := qoiSweep(o.s3d(), o, 20)
+func Fig6(ctx context.Context, o Opts) string {
+	out, err := qoiSweep(ctx, o.s3d(), o, 20)
 	if err != nil {
 		return "fig6: " + err.Error()
 	}
@@ -274,7 +274,7 @@ func Fig6(o Opts) string {
 // retrievalEfficiency implements Figs. 7–8: for each QoI and each method, a
 // fresh session per requested tolerance (the paper's single-request
 // "generic case"), reporting bitrate.
-func retrievalEfficiency(ds *datagen.Dataset, o Opts, nTargets int) (string, error) {
+func retrievalEfficiency(ctx context.Context, ds *datagen.Dataset, o Opts, nTargets int) (string, error) {
 	ranges := core.QoIRanges(ds.QoIs, ds.Fields)
 	targets := o.sweep(nTargets)
 	if !o.Quick {
@@ -310,7 +310,7 @@ func retrievalEfficiency(ds *datagen.Dataset, o Opts, nTargets int) (string, err
 				if err != nil {
 					return "", err
 				}
-				res, err := rt.Retrieve(context.Background(), core.Request{
+				res, err := rt.Retrieve(ctx, core.Request{
 					QoIs:       []qoi.QoI{q},
 					Tolerances: []float64{rel * ranges[k]},
 					InitRel:    []float64{rel},
@@ -328,8 +328,8 @@ func retrievalEfficiency(ds *datagen.Dataset, o Opts, nTargets int) (string, err
 }
 
 // Fig7 is retrieval efficiency on GE-small (paper Fig. 7).
-func Fig7(o Opts) string {
-	out, err := retrievalEfficiency(o.geSmall(), o, 20)
+func Fig7(ctx context.Context, o Opts) string {
+	out, err := retrievalEfficiency(ctx, o.geSmall(), o, 20)
 	if err != nil {
 		return "fig7: " + err.Error()
 	}
@@ -337,8 +337,8 @@ func Fig7(o Opts) string {
 }
 
 // Fig8 is retrieval efficiency on S3D (paper Fig. 8).
-func Fig8(o Opts) string {
-	out, err := retrievalEfficiency(o.s3d(), o, 20)
+func Fig8(ctx context.Context, o Opts) string {
+	out, err := retrievalEfficiency(ctx, o.s3d(), o, 20)
 	if err != nil {
 		return "fig8: " + err.Error()
 	}
@@ -347,7 +347,7 @@ func Fig8(o Opts) string {
 
 // Table4 measures refactor and retrieval wall time per method for the VTOT
 // QoI at tolerances 1e-1..1e-5 (paper Table IV).
-func Table4(o Opts) string {
+func Table4(ctx context.Context, o Opts) string {
 	ds := o.geSmall()
 	vtot := []qoi.QoI{ds.QoIs[0]}
 	ranges := core.QoIRanges(vtot, ds.Fields)
@@ -370,7 +370,7 @@ func Table4(o Opts) string {
 				return "table4: " + err.Error()
 			}
 			start := time.Now()
-			if _, err := rt.Retrieve(context.Background(), core.Request{
+			if _, err := rt.Retrieve(ctx, core.Request{
 				QoIs:       vtot,
 				Tolerances: []float64{rel * ranges[0]},
 				InitRel:    []float64{rel},
@@ -387,7 +387,7 @@ func Table4(o Opts) string {
 // Fig9 runs the remote-transfer experiment: per-block QoI retrieval over a
 // simulated Globus-class link, versus shipping the raw velocity fields
 // (paper Fig. 9).
-func Fig9(o Opts) string {
+func Fig9(ctx context.Context, o Opts) string {
 	ds, workers := o.geLarge()
 	blockSize := ds.NumElements() / workers
 	// VTOT uses the velocity components only: 3 of the 5 fields.
@@ -435,7 +435,7 @@ func Fig9(o Opts) string {
 			if ranges[0] == 0 {
 				ranges[0] = 1
 			}
-			_, err = rt.Retrieve(context.Background(), core.Request{
+			_, err = rt.Retrieve(ctx, core.Request{
 				QoIs:       []qoi.QoI{vtot},
 				Tolerances: []float64{rel * ranges[0]},
 				InitRel:    []float64{rel},
@@ -457,9 +457,10 @@ func Fig9(o Opts) string {
 }
 
 // All runs every experiment in order.
-func All(o Opts) string {
+func All(ctx context.Context, o Opts) string {
 	parts := []string{
-		Table3(o), Fig2(o), Fig3(o), Fig4(o), Fig5(o), Fig6(o), Fig7(o), Fig8(o), Table4(o), Fig9(o),
+		Table3(ctx, o), Fig2(ctx, o), Fig3(ctx, o), Fig4(ctx, o), Fig5(ctx, o),
+		Fig6(ctx, o), Fig7(ctx, o), Fig8(ctx, o), Table4(ctx, o), Fig9(ctx, o),
 	}
 	return strings.Join(parts, "\n\n"+strings.Repeat("=", 72)+"\n\n")
 }

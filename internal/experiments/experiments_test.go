@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -24,7 +25,7 @@ func mustNotError(t *testing.T, name, out string) {
 }
 
 func TestTable3(t *testing.T) {
-	out := Table3(quick)
+	out := Table3(context.Background(), quick)
 	mustNotError(t, "table3", out)
 	for _, ds := range []string{"GE-small", "Hurricane", "NYX", "S3D", "GE-large"} {
 		if !strings.Contains(out, ds) {
@@ -34,7 +35,7 @@ func TestTable3(t *testing.T) {
 }
 
 func TestFig2(t *testing.T) {
-	out := Fig2(quick)
+	out := Fig2(context.Background(), quick)
 	mustNotError(t, "fig2", out)
 	for _, f := range fig2Fields {
 		if !strings.Contains(out, f) {
@@ -47,7 +48,7 @@ func TestFig2(t *testing.T) {
 }
 
 func TestFig3(t *testing.T) {
-	out := Fig3(quick)
+	out := Fig3(context.Background(), quick)
 	mustNotError(t, "fig3", out)
 	if !strings.Contains(out, "est(OB)") || !strings.Contains(out, "real(HB)") {
 		t.Error("Fig3 missing OB/HB columns")
@@ -55,7 +56,7 @@ func TestFig3(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
-	out := Fig4(quick)
+	out := Fig4(context.Background(), quick)
 	mustNotError(t, "fig4", out)
 	for _, q := range []string{"VTOT", "T", "C", "Mach", "PT", "mu"} {
 		if !strings.Contains(out, ":: "+q+"]") {
@@ -65,7 +66,7 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
-	out := Fig5(quick)
+	out := Fig5(context.Background(), quick)
 	mustNotError(t, "fig5", out)
 	if !strings.Contains(out, "NYX") || !strings.Contains(out, "Hurricane") {
 		t.Error("Fig5 missing a dataset")
@@ -73,7 +74,7 @@ func TestFig5(t *testing.T) {
 }
 
 func TestFig6(t *testing.T) {
-	out := Fig6(quick)
+	out := Fig6(context.Background(), quick)
 	mustNotError(t, "fig6", out)
 	if !strings.Contains(out, "x1*x3") {
 		t.Error("Fig6 missing molar product")
@@ -81,7 +82,7 @@ func TestFig6(t *testing.T) {
 }
 
 func TestFig7(t *testing.T) {
-	out := Fig7(quick)
+	out := Fig7(context.Background(), quick)
 	mustNotError(t, "fig7", out)
 	if !strings.Contains(out, "PSZ3-delta") {
 		t.Error("Fig7 missing method")
@@ -89,7 +90,7 @@ func TestFig7(t *testing.T) {
 }
 
 func TestFig8(t *testing.T) {
-	out := Fig8(quick)
+	out := Fig8(context.Background(), quick)
 	mustNotError(t, "fig8", out)
 	if !strings.Contains(out, "S3D") {
 		t.Error("Fig8 missing dataset")
@@ -97,7 +98,7 @@ func TestFig8(t *testing.T) {
 }
 
 func TestTable4(t *testing.T) {
-	out := Table4(quick)
+	out := Table4(context.Background(), quick)
 	mustNotError(t, "table4", out)
 	if !strings.Contains(out, "Refactoring") || !strings.Contains(out, "1E-5") {
 		t.Error("Table4 missing columns")
@@ -105,7 +106,7 @@ func TestTable4(t *testing.T) {
 }
 
 func TestFig9(t *testing.T) {
-	out := Fig9(quick)
+	out := Fig9(context.Background(), quick)
 	mustNotError(t, "fig9", out)
 	if !strings.Contains(out, "speedup_vs_raw") {
 		t.Error("Fig9 missing speedup column")

@@ -59,7 +59,7 @@ type Trace struct {
 	origin time.Time
 
 	mu    sync.Mutex
-	spans []Span
+	spans []Span // guarded by mu
 }
 
 // NewTrace returns an empty trace with a fresh request ID and the

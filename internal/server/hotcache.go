@@ -12,13 +12,13 @@ import (
 // fragment read to a store read but keeps the server correct.
 type hotCache struct {
 	mu        sync.Mutex
-	capBytes  int64
-	size      int64
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
+	capBytes  int64                    // immutable after construction
+	size      int64                    // guarded by mu
+	ll        *list.List               // guarded by mu; front = most recently used
+	items     map[string]*list.Element // guarded by mu
+	hits      int64                    // guarded by mu
+	misses    int64                    // guarded by mu
+	evictions int64                    // guarded by mu
 }
 
 type hotEntry struct {

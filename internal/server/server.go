@@ -218,9 +218,9 @@ type Server struct {
 	// The limiter counters share one mutex so /healthz and /metrics
 	// snapshot them consistently (inflight can never read above maxSeen).
 	limMu    sync.Mutex
-	requests int64
-	inflight int64
-	maxSeen  int64
+	requests int64 // guarded by limMu
+	inflight int64 // guarded by limMu
+	maxSeen  int64 // guarded by limMu
 
 	fragBytes      atomic.Int64
 	fragsServed    atomic.Int64

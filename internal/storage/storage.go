@@ -67,7 +67,7 @@ type RangeReader interface {
 // MemStore is an in-memory Store, safe for concurrent use.
 type MemStore struct {
 	mu sync.RWMutex
-	m  map[string][]byte
+	m  map[string][]byte // guarded by mu
 }
 
 // NewMemStore returns an empty MemStore.

@@ -602,6 +602,7 @@ func (s *Session) Retrieve(qois []QoI, tolerances []float64) (*Result, error) {
 	for k := range qois {
 		targets[k] = Target{QoI: qois[k], Tolerance: tolerances[k]}
 	}
+	//progqoivet:allow ctxflow -- deprecated v1 wrapper documented to run under a root context
 	return s.Do(context.Background(), Request{Targets: targets})
 }
 
@@ -622,6 +623,7 @@ func (s *Session) RetrieveRegions(qois []QoI, tolerances []float64, regions []Re
 	for k := range qois {
 		targets[k] = Target{QoI: qois[k], Tolerance: tolerances[k], Region: regions[k]}
 	}
+	//progqoivet:allow ctxflow -- deprecated v1 wrapper documented to run under a root context
 	return s.Do(context.Background(), Request{Targets: targets})
 }
 
@@ -637,6 +639,7 @@ func (s *Session) RetrieveRelative(qois []QoI, rel []float64, qoiRanges []float6
 	for k := range qois {
 		targets[k] = Target{QoI: qois[k], Tolerance: rel[k], Relative: true, Range: qoiRanges[k]}
 	}
+	//progqoivet:allow ctxflow -- deprecated v1 wrapper documented to run under a root context
 	return s.Do(context.Background(), Request{Targets: targets})
 }
 
