@@ -34,7 +34,7 @@ func shardBenchSetup(b *testing.B) {
 			b.Fatal(err)
 		}
 		st := storage.NewMemStore()
-		if err := storage.WriteArchive(st, "ge", arch.Variables()); err != nil {
+		if err := storage.WriteArchive(context.Background(), st, "ge", arch.Variables()); err != nil {
 			b.Fatal(err)
 		}
 		wants := map[string][]int{}
@@ -53,7 +53,7 @@ func benchShardFetch(b *testing.B, nodes int) {
 	shardBenchSetup(b)
 	urls := make([]string, nodes)
 	for i := range urls {
-		srv, err := server.New(shardBench.st, server.Options{})
+		srv, err := server.New(context.Background(), shardBench.st, server.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -113,7 +113,7 @@ func TestClusterDaemonE2E(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := storage.WriteArchive(st, "ge", arch.Variables()); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, "ge", arch.Variables()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -47,6 +47,7 @@ import (
 	"progqoi/internal/qoi"
 	"progqoi/internal/stats"
 	"progqoi/internal/storage"
+	"progqoi/internal/storage/objstore"
 )
 
 func main() {
@@ -79,9 +80,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   progqoi refactor -dims NxMx... [-method NAME] -out OUT.pq IN.f64
-  progqoi pack -dims NxMx... -dataset NAME -fields A,B,... -store DIR [-method NAME] [-workers N] IN1.f64 IN2.f64 ...
+  progqoi pack -dims NxMx... -dataset NAME -fields A,B,... -store DIR|s3://bucket[/prefix] [-method NAME] [-workers N] IN1.f64 IN2.f64 ...
   progqoi retrieve -qoi FORMULA -tol T -fields A,B,... [-timeout D] [-progress] [-out PREFIX] IN1.pq IN2.pq ...
-  progqoi retrieve -remote URL -dataset NAME -qoi FORMULA -tol T [-timeout D] [-progress] [-out PREFIX]
+  progqoi retrieve -remote REF [-dataset NAME] -qoi FORMULA -tol T [-timeout D] [-progress] [-out PREFIX]
+      REF: http(s)://host[/base]/dataset or s3://bucket[/prefix]/dataset (PROGQOI_S3_* env)
   progqoi info IN.pq
   progqoi verify IN.pq ORIGINAL.f64
 methods: psz3, psz3-delta, pmgard, pmgard-hb (default)`)
@@ -207,7 +209,7 @@ func cmdPack(args []string) error {
 	methodStr := fs.String("method", "pmgard-hb", "progressive method")
 	dataset := fs.String("dataset", "", "dataset name")
 	fieldsStr := fs.String("fields", "", "comma-separated field names, one per input file")
-	storeDir := fs.String("store", "", "archive directory to write")
+	storeDir := fs.String("store", "", "archive store to write: a directory, file://dir, or s3://bucket[/prefix] (endpoint/credentials via PROGQOI_S3_*)")
 	workers := fs.Int("workers", 0, "encode worker pool bound (0 = all cores, 1 = sequential; output identical)")
 	if help, err := parsed(fs, args); help || err != nil {
 		return err
@@ -234,7 +236,7 @@ func cmdPack(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := storage.NewDirStore(*storeDir)
+	st, err := objstore.ResolveStore(*storeDir, objstore.EnvOptions())
 	if err != nil {
 		return err
 	}
@@ -244,7 +246,7 @@ func cmdPack(args []string) error {
 	}
 	start := time.Now()
 	var rawBytes int64
-	stored, err := storage.RefactorTo(st, *dataset, names, dims, core.RefactorOptions{
+	stored, err := storage.RefactorTo(context.Background(), st, *dataset, names, dims, core.RefactorOptions{
 		Progressive: progressive.Options{Method: method, LosslessTail: true},
 		MaskZeros:   true,
 		Workers:     *workers,
@@ -264,7 +266,7 @@ func cmdPack(args []string) error {
 	}
 	elapsed := time.Since(start)
 	mbps := float64(rawBytes) / (1 << 20) / elapsed.Seconds()
-	fmt.Printf("%s: packed %d variable(s) into dataset %q (%d stored bytes) in %.2fs — %.1f MiB/s ingest; serve with: progqoid -dir %s\n",
+	fmt.Printf("%s: packed %d variable(s) into dataset %q (%d stored bytes) in %.2fs — %.1f MiB/s ingest; serve with: progqoid -store %s\n",
 		*storeDir, len(names), *dataset, stored, elapsed.Seconds(), mbps, *storeDir)
 	return nil
 }
@@ -332,10 +334,12 @@ func writeTrace(tr *progqoi.Trace, path string) error {
 	return nil
 }
 
-// cmdRetrieveRemote runs the retrieval against a progqoid fragment
-// service instead of local archive files.
-func cmdRetrieveRemote(ctx context.Context, remote, dataset, formula string, tol float64, outPrefix string, progress bool, tr *progqoi.Trace, tracePath string) error {
-	arch, err := progqoi.OpenRemote(ctx, remote, dataset)
+// cmdRetrieveRemote runs the retrieval against a remote archive
+// reference — a progqoid fragment service (http://host/dataset) or an
+// object-store bucket (s3://bucket/prefix/dataset) — instead of local
+// archive files.
+func cmdRetrieveRemote(ctx context.Context, ref, formula string, tol float64, outPrefix string, progress bool, tr *progqoi.Trace, tracePath string) error {
+	arch, err := progqoi.Open(ctx, ref)
 	if err != nil {
 		return err
 	}
@@ -363,9 +367,17 @@ func cmdRetrieveRemote(ctx context.Context, remote, dataset, formula string, tol
 	for _, d := range arch.Dims() {
 		ne *= d
 	}
-	ws := arch.RemoteStats()
-	reportRetrieval(res, tol, ne, len(names), fmt.Sprintf("; wire: %d bytes in %d requests (%d cache hits)",
-		ws.WireBytes, ws.WireRequests, ws.CacheHits))
+	var extra string
+	switch {
+	case arch.Remote():
+		ws := arch.RemoteStats()
+		extra = fmt.Sprintf("; wire: %d bytes in %d requests (%d cache hits)",
+			ws.WireBytes, ws.WireRequests, ws.CacheHits)
+	case arch.StoreBacked():
+		ss := arch.StoreStats()
+		extra = fmt.Sprintf("; store: %d bytes in %d cold fetches", ss.ColdFetchBytes, ss.ColdFetches)
+	}
+	reportRetrieval(res, tol, ne, len(names), extra)
 	return writeRecons(names, res.Data, outPrefix)
 }
 
@@ -375,8 +387,8 @@ func cmdRetrieve(args []string) error {
 	tol := fs.Float64("tol", 0, "absolute QoI error tolerance")
 	fieldsStr := fs.String("fields", "", "comma-separated field names, one per archive")
 	outPrefix := fs.String("out", "", "write reconstructed fields to PREFIX_<field>.f64")
-	remote := fs.String("remote", "", "base URL of a progqoid fragment service")
-	dataset := fs.String("dataset", "", "dataset name on the remote service")
+	remote := fs.String("remote", "", "remote archive reference: http(s)://host[/base]/dataset, s3://bucket[/prefix]/dataset (endpoint/credentials via PROGQOI_S3_*), or a base URL combined with -dataset")
+	dataset := fs.String("dataset", "", "dataset name appended to -remote (optional when -remote already names the dataset)")
 	timeout := fs.Duration("timeout", time.Duration(0), "abort the retrieval after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "print one line per retrieval iteration")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the retrieval phases to this file")
@@ -394,10 +406,14 @@ func cmdRetrieve(args []string) error {
 		defer cancel()
 	}
 	if *remote != "" {
-		if *dataset == "" || *formula == "" || !(*tol > 0) || fs.NArg() != 0 {
-			return fmt.Errorf("remote retrieve needs -dataset, -qoi, -tol > 0 and no archive files")
+		if *formula == "" || !(*tol > 0) || fs.NArg() != 0 {
+			return fmt.Errorf("remote retrieve needs -qoi, -tol > 0 and no archive files")
 		}
-		return cmdRetrieveRemote(ctx, *remote, *dataset, *formula, *tol, *outPrefix, *progress, tr, *tracePath)
+		ref := strings.TrimSuffix(*remote, "/")
+		if *dataset != "" {
+			ref += "/" + *dataset
+		}
+		return cmdRetrieveRemote(ctx, ref, *formula, *tol, *outPrefix, *progress, tr, *tracePath)
 	}
 	names := strings.Split(*fieldsStr, ",")
 	if fs.NArg() == 0 || *formula == "" || !(*tol > 0) || len(names) != fs.NArg() {

@@ -292,7 +292,7 @@ func TestPackAndRemoteRetrieveWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(st, server.Options{})
+	srv, err := server.New(context.Background(), st, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestRetrieveTraceFlag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(st, server.Options{})
+	srv, err := server.New(context.Background(), st, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

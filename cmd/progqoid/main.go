@@ -1,15 +1,30 @@
 // Command progqoid is the fragment service daemon: it serves the archives
-// of a storage directory (written by storage.WriteArchive, e.g. via
+// of a storage backend (written by storage.WriteArchive, e.g. via
 // `progqoi pack`) over HTTP so remote sessions can retrieve QoIs with
 // exactly the bytes each tolerance needs.
 //
-//	progqoid -dir ./archives -addr :9123
+//	progqoid -store ./archives -addr :9123
 //
-// A static cluster is several progqoid nodes serving the same archive
-// directory; each node is told the full topology so clients can discover
-// it from any member:
+// The store reference is scheme-dispatched: a directory path (or
+// file://dir) serves local archive files, while an S3-compatible bucket
+// makes the daemon a stateless serving tier — zero archive bytes on local
+// disk, fragments fetched from the bucket with authenticated ranged GETs
+// through a byte-bounded read-through cache:
 //
-//	progqoid -dir ./archives -addr :9123 \
+//	export PROGQOI_S3_ACCESS_KEY=... PROGQOI_S3_SECRET_KEY=...
+//	progqoid -store s3://bucket/prefix \
+//	    -store-endpoint http://minio:9000 -addr :9123
+//
+// Credentials travel only through the PROGQOI_S3_* environment, never
+// argv. A malformed store URL, missing bucket, denied access or
+// unreachable endpoint fails startup with a clean diagnostic before the
+// listener binds. -dir remains as a legacy alias for -store DIR.
+//
+// A static cluster is several progqoid nodes serving the same store;
+// each node is told the full topology so clients can discover it from
+// any member:
+//
+//	progqoid -store ./archives -addr :9123 \
 //	    -advertise http://node0:9123 \
 //	    -peers http://node1:9123,http://node2:9123
 //
@@ -52,6 +67,7 @@ import (
 
 	"progqoi/internal/server"
 	"progqoi/internal/storage"
+	"progqoi/internal/storage/objstore"
 )
 
 func main() {
@@ -106,18 +122,44 @@ func newLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-// newServer builds the HTTP handler for one archive directory; split from
-// run so tests can drive it without a listener.
-func newServer(dir string, limit int, logRequests bool) (*server.Server, error) {
-	return newClusterServer(dir, limit, 0, "", nil, "", logRequests, nil)
+// resolveDaemonStore maps a -store reference (or legacy -dir path) onto a
+// live storage.Store: s3://bucket[/prefix], file://dir, or a bare
+// directory path. The object-store endpoint and region come from the
+// flags when set, the PROGQOI_S3_* environment otherwise; credentials are
+// environment-only — secrets on a command line leak through process
+// listings. Malformed references fail with errors wrapping
+// objstore.ErrBadStoreURL before any listener binds.
+func resolveDaemonStore(ref, endpoint, region string) (storage.Store, error) {
+	opt := objstore.EnvOptions()
+	if endpoint != "" {
+		opt.Endpoint = endpoint
+	}
+	if region != "" {
+		opt.Region = region
+	}
+	return objstore.ResolveStore(ref, opt)
 }
 
-func newClusterServer(dir string, limit int, cacheBytes int64, advertise string, peers []string, adminToken string, logRequests bool, lg *slog.Logger) (*server.Server, error) {
-	st, err := storage.NewDirStore(dir)
+// newServer builds the HTTP handler for one archive store reference;
+// split from run so tests can drive it without a listener.
+func newServer(ctx context.Context, ref string, limit int, logRequests bool) (*server.Server, error) {
+	return newClusterServer(ctx, ref, limit, 0, "", nil, "", logRequests, nil)
+}
+
+func newClusterServer(ctx context.Context, ref string, limit int, cacheBytes int64, advertise string, peers []string, adminToken string, logRequests bool, lg *slog.Logger) (*server.Server, error) {
+	st, err := resolveDaemonStore(ref, "", "")
 	if err != nil {
 		return nil, err
 	}
-	return server.New(st, server.Options{
+	return serveStore(ctx, st, limit, cacheBytes, advertise, peers, adminToken, logRequests, lg)
+}
+
+// serveStore builds the fragment service over an already-resolved store —
+// the catalog scan inside server.New is also the startup probe: an
+// unreachable or denying object store surfaces here as a clean startup
+// error instead of a half-alive daemon.
+func serveStore(ctx context.Context, st storage.Store, limit int, cacheBytes int64, advertise string, peers []string, adminToken string, logRequests bool, lg *slog.Logger) (*server.Server, error) {
+	return server.New(ctx, st, server.Options{
 		MaxInflight:   limit,
 		HotCacheBytes: cacheBytes,
 		Advertise:     advertise,
@@ -157,7 +199,10 @@ func withPprof(next http.Handler, token string) http.Handler {
 func run(args []string) error {
 	fs := flag.NewFlagSet("progqoid", flag.ContinueOnError)
 	addr := fs.String("addr", ":9123", "listen address")
-	dir := fs.String("dir", "", "archive directory to serve (required)")
+	dir := fs.String("dir", "", "archive directory to serve (legacy alias for -store DIR)")
+	store := fs.String("store", "", "archive store to serve: s3://bucket[/prefix], file://dir, or a directory path")
+	storeEndpoint := fs.String("store-endpoint", "", "object-store base URL for s3:// stores (overrides "+objstore.EnvEndpoint+"); credentials come from "+objstore.EnvAccessKey+"/"+objstore.EnvSecretKey)
+	storeRegion := fs.String("store-region", "", "object-store signing region for s3:// stores (overrides "+objstore.EnvRegion+")")
 	limit := fs.Int("limit", server.DefaultMaxInflight, "max concurrent requests")
 	cache := fs.Int64("cache", server.DefaultHotCacheBytes, "hot-fragment cache bound in bytes (negative disables)")
 	advertise := fs.String("advertise", "", "this node's public base URL, reported at /v1/cluster")
@@ -174,8 +219,14 @@ func run(args []string) error {
 		}
 		return err
 	}
-	if *dir == "" {
-		return fmt.Errorf("-dir is required")
+	storeRef := *store
+	switch {
+	case *dir != "" && *store != "":
+		return fmt.Errorf("-dir and -store are mutually exclusive (use -store)")
+	case *dir != "":
+		storeRef = *dir
+	case *store == "":
+		return fmt.Errorf("-store is required (s3://bucket[/prefix], file://dir, or a directory path)")
 	}
 	lg, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
@@ -193,18 +244,22 @@ func run(args []string) error {
 			return fmt.Errorf("-advertise: %w", err)
 		}
 	}
-	srv, err := newClusterServer(*dir, *limit, *cache, *advertise, peerURLs, *admin, *verbose, lg)
+	st, err := resolveDaemonStore(storeRef, *storeEndpoint, *storeRegion)
 	if err != nil {
 		return err
 	}
+	srv, err := serveStore(context.Background(), st, *limit, *cache, *advertise, peerURLs, *admin, *verbose, lg)
+	if err != nil {
+		return fmt.Errorf("store %s: %w", storeRef, err)
+	}
 	names := srv.Datasets()
 	if len(names) == 0 {
-		lg.Warn("no datasets (no *.manifest keys)", slog.String("dir", *dir))
+		lg.Warn("no datasets (no *.manifest keys)", slog.String("store", storeRef))
 	}
 	lg.Info("serving",
 		slog.Int("datasets", len(names)),
 		slog.Any("names", names),
-		slog.String("dir", *dir),
+		slog.String("store", storeRef),
 		slog.String("addr", *addr),
 		slog.Int("limit", *limit),
 		slog.Int("peers", len(peerURLs)),

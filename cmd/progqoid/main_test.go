@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"net/http"
@@ -17,9 +19,23 @@ import (
 	"progqoi/internal/progressive"
 	"progqoi/internal/server"
 	"progqoi/internal/storage"
+	"progqoi/internal/storage/objstore"
+	"progqoi/internal/storage/objstore/miniobj"
 )
 
 func writeArchiveDir(t *testing.T, dir string) []*core.Variable {
+	t.Helper()
+	st, err := storage.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeArchiveStore(t, st)
+}
+
+// writeArchiveStore packs the test dataset "ge" into any store — a
+// directory for the legacy path, an object-store client for the
+// stateless-tier tests (where the pack doubles as signed-PUT coverage).
+func writeArchiveStore(t *testing.T, st storage.Store) []*core.Variable {
 	t.Helper()
 	ds := datagen.GE("GE-daemon", 4, 96, 7)
 	vars, err := core.RefactorVariables(ds.FieldNames, ds.Fields, ds.Dims, core.RefactorOptions{
@@ -29,11 +45,7 @@ func writeArchiveDir(t *testing.T, dir string) []*core.Variable {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := storage.NewDirStore(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
 	return vars
@@ -42,7 +54,7 @@ func writeArchiveDir(t *testing.T, dir string) []*core.Variable {
 func TestNewServerServesDirectory(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "arch")
 	writeArchiveDir(t, dir)
-	srv, err := newServer(dir, 8, false)
+	srv, err := newServer(context.Background(), dir, 8, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +115,7 @@ func TestParsePeers(t *testing.T) {
 func TestClusterFlagsReachClusterEndpoint(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "arch")
 	writeArchiveDir(t, dir)
-	srv, err := newClusterServer(dir, 8, 0, "http://me:9123", []string{"http://peer:9123"}, "", false, nil)
+	srv, err := newClusterServer(context.Background(), dir, 8, 0, "http://me:9123", []string{"http://peer:9123"}, "", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,14 +159,14 @@ func TestAdminFlagEnablesReload(t *testing.T) {
 		resp.Body.Close()
 		return resp.StatusCode
 	}
-	off, err := newClusterServer(dir, 8, 0, "", nil, "", false, nil)
+	off, err := newClusterServer(context.Background(), dir, 8, 0, "", nil, "", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code := reload(off, "tok"); code != http.StatusForbidden {
 		t.Fatalf("reload without -admin: %d", code)
 	}
-	on, err := newClusterServer(dir, 8, 0, "", nil, "tok", false, nil)
+	on, err := newClusterServer(context.Background(), dir, 8, 0, "", nil, "tok", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,6 +242,120 @@ func TestRunStartupErrors(t *testing.T) {
 	})
 }
 
+// clearS3Env isolates a subtest from any ambient PROGQOI_S3_*
+// configuration so the store-validation cases exercise exactly the flags
+// they pass.
+func clearS3Env(t *testing.T) {
+	t.Helper()
+	for _, k := range []string{objstore.EnvEndpoint, objstore.EnvAccessKey, objstore.EnvSecretKey, objstore.EnvRegion} {
+		t.Setenv(k, "")
+	}
+}
+
+// TestRunStoreValidation covers the -store startup contract: malformed or
+// unsupported references fail with a typed error before any listener
+// binds, and an s3 reference is probed at boot so a dead or denying
+// bucket cannot produce a half-alive daemon.
+func TestRunStoreValidation(t *testing.T) {
+	t.Run("dir and store are mutually exclusive", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "arch")
+		writeArchiveDir(t, dir)
+		err := runErr(t, true, "-dir", dir, "-store", dir)
+		if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+			t.Fatalf("error %v does not say the flags conflict", err)
+		}
+	})
+	t.Run("unknown scheme", func(t *testing.T) {
+		err := runErr(t, true, "-store", "gs://bucket/prefix")
+		if !errors.Is(err, objstore.ErrBadStoreURL) {
+			t.Fatalf("gs:// error = %v, want ErrBadStoreURL", err)
+		}
+	})
+	t.Run("missing bucket", func(t *testing.T) {
+		err := runErr(t, true, "-store", "s3://")
+		if !errors.Is(err, objstore.ErrBadStoreURL) {
+			t.Fatalf("bucketless error = %v, want ErrBadStoreURL", err)
+		}
+	})
+	t.Run("s3 without endpoint", func(t *testing.T) {
+		clearS3Env(t)
+		err := runErr(t, true, "-store", "s3://bucket/prefix")
+		if !errors.Is(err, objstore.ErrBadStoreURL) {
+			t.Fatalf("endpointless error = %v, want ErrBadStoreURL", err)
+		}
+	})
+	t.Run("unreachable endpoint", func(t *testing.T) {
+		clearS3Env(t)
+		err := runErr(t, true, "-store", "s3://bucket", "-store-endpoint", "http://127.0.0.1:1")
+		if err == nil || !strings.Contains(err.Error(), "store s3://bucket") {
+			t.Fatalf("unreachable-endpoint error %v does not name the store", err)
+		}
+	})
+	t.Run("access denied at boot", func(t *testing.T) {
+		clearS3Env(t)
+		srv := miniobj.New("bkt", miniobj.Credentials{AccessKey: "AK", SecretKey: "SK"})
+		defer srv.Close()
+		srv.Deny403(true)
+		t.Setenv(objstore.EnvAccessKey, "AK")
+		t.Setenv(objstore.EnvSecretKey, "SK")
+		err := runErr(t, true, "-store", "s3://bkt", "-store-endpoint", srv.URL())
+		if !errors.Is(err, objstore.ErrAccessDenied) {
+			t.Fatalf("denied-bucket error = %v, want ErrAccessDenied", err)
+		}
+	})
+}
+
+// TestStoreFlagServesFromObjectStore is the daemon-level stateless-tier
+// check: the catalog and every fragment come from a mock bucket reached
+// through -store s3:// with zero archive bytes on local disk, and
+// file://dir resolves to the same catalog as the legacy bare path.
+func TestStoreFlagServesFromObjectStore(t *testing.T) {
+	ctx := context.Background()
+	srv := miniobj.New("bkt", miniobj.Credentials{AccessKey: "AK", SecretKey: "SK"})
+	defer srv.Close()
+	seed, err := objstore.New(objstore.Options{
+		Endpoint: srv.URL(), Bucket: "bkt", Prefix: "team/v1",
+		AccessKey: "AK", SecretKey: "SK",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeArchiveStore(t, seed)
+
+	t.Setenv(objstore.EnvEndpoint, srv.URL())
+	t.Setenv(objstore.EnvAccessKey, "AK")
+	t.Setenv(objstore.EnvSecretKey, "SK")
+	t.Setenv(objstore.EnvRegion, "")
+	s, err := newServer(ctx, "s3://bkt/team/v1", 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Datasets(); len(got) != 1 || got[0] != "ge" {
+		t.Fatalf("datasets from bucket = %v", got)
+	}
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/v1/d/ge/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // status is the assertion
+	resp.Body.Close()              //nolint:errcheck // test request
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/d/ge/index = %d", resp.StatusCode)
+	}
+
+	dir := filepath.Join(t.TempDir(), "arch")
+	writeArchiveDir(t, dir)
+	viaFile, err := newServer(ctx, "file://"+dir, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := viaFile.Datasets(); len(got) != 1 || got[0] != "ge" {
+		t.Fatalf("datasets via file:// = %v", got)
+	}
+}
+
 func TestHelpFlagIsNotAnError(t *testing.T) {
 	if err := run([]string{"-h"}); err != nil {
 		t.Fatalf("-h returned %v, want nil", err)
@@ -266,7 +392,7 @@ func TestPprofGating(t *testing.T) {
 		t.Fatalf("-pprof without -admin: err = %v, want mention of -admin", err)
 	}
 
-	srv, err := newServer(dir, 8, false)
+	srv, err := newServer(context.Background(), dir, 8, false)
 	if err != nil {
 		t.Fatal(err)
 	}

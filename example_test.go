@@ -126,12 +126,12 @@ func Example_packAndServe() {
 		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
 		MaskZeros:   true,
 	}
-	if _, err := storage.RefactorTo(st, "alpha", names, []int{2048}, opt,
+	if _, err := storage.RefactorTo(context.Background(), st, "alpha", names, []int{2048}, opt,
 		func(i int) ([]float64, error) { return fields[i], nil }); err != nil {
 		log.Fatal(err)
 	}
 
-	srv, err := server.New(st, server.Options{AdminToken: "token"})
+	srv, err := server.New(context.Background(), st, server.Options{AdminToken: "token"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func Example_packAndServe() {
 	defer hs.Close()
 	ctx := context.Background()
 
-	arch, err := progqoi.OpenRemote(ctx, hs.URL, "alpha")
+	arch, err := progqoi.Open(ctx, hs.URL+"/alpha")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -155,11 +155,11 @@ func Example_packAndServe() {
 	fmt.Println("alpha certified over the wire:", res.ToleranceMet)
 
 	// Publish a second dataset to the live server: pack, then reload.
-	if _, err := storage.RefactorTo(st, "beta", names, []int{2048}, opt,
+	if _, err := storage.RefactorTo(context.Background(), st, "beta", names, []int{2048}, opt,
 		func(i int) ([]float64, error) { return fields[i], nil }); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := srv.Reload(); err != nil { // over HTTP: POST /v1/datasets/reload
+	if _, err := srv.Reload(context.Background()); err != nil { // over HTTP: POST /v1/datasets/reload
 		log.Fatal(err)
 	}
 	fmt.Println("served after hot publish:", srv.Datasets())
@@ -174,6 +174,7 @@ func Example_packAndServe() {
 // contents are byte-identical to the in-memory Refactor + WriteArchive
 // pipeline — at any worker-pool setting.
 func Example_streamingIngest() {
+	ctx := context.Background()
 	names, fields := demo3Fields(2048)
 	opt := core.RefactorOptions{
 		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
@@ -186,7 +187,7 @@ func Example_streamingIngest() {
 		log.Fatal(err)
 	}
 	ref := storage.NewMemStore()
-	if err := storage.WriteArchive(ref, "demo", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), ref, "demo", vars); err != nil {
 		log.Fatal(err)
 	}
 
@@ -194,16 +195,16 @@ func Example_streamingIngest() {
 	streamed := storage.NewMemStore()
 	opt.Workers = 8
 	loaded := 0
-	if _, err := storage.RefactorTo(streamed, "demo", names, []int{2048}, opt,
+	if _, err := storage.RefactorTo(context.Background(), streamed, "demo", names, []int{2048}, opt,
 		func(i int) ([]float64, error) { loaded++; return fields[i], nil }); err != nil {
 		log.Fatal(err)
 	}
 
 	identical := true
-	keys, _ := ref.Keys()
+	keys, _ := ref.Keys(ctx)
 	for _, k := range keys {
-		a, _ := ref.Get(k)
-		b, err := streamed.Get(k)
+		a, _ := ref.Get(ctx, k)
+		b, err := streamed.Get(ctx, k)
 		if err != nil || !bytes.Equal(a, b) {
 			identical = false
 		}

@@ -43,10 +43,10 @@ func synthFields(n int, phase float64) ([]string, [][]float64) {
 
 // pack streams one dataset into the directory, reporting ingest
 // throughput — the same path `progqoi pack -workers` takes.
-func pack(st storage.Store, dataset string, n int, phase float64) ([]string, [][]float64) {
+func pack(ctx context.Context, st storage.Store, dataset string, n int, phase float64) ([]string, [][]float64) {
 	names, fields := synthFields(n, phase)
 	start := time.Now()
-	stored, err := storage.RefactorTo(st, dataset, names, []int{n}, core.RefactorOptions{
+	stored, err := storage.RefactorTo(ctx, st, dataset, names, []int{n}, core.RefactorOptions{
 		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
 		MaskZeros:   true,
 		Workers:     runtime.GOMAXPROCS(0),
@@ -62,7 +62,7 @@ func pack(st storage.Store, dataset string, n int, phase float64) ([]string, [][
 }
 
 func retrieve(ctx context.Context, url, dataset string, names []string, fields [][]float64) {
-	arch, err := progqoi.OpenRemote(ctx, url, dataset)
+	arch, err := progqoi.Open(ctx, url+"/"+dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,8 +97,8 @@ func main() {
 	ctx := context.Background()
 
 	// Day 0: pack and serve the first dataset.
-	namesA, fieldsA := pack(st, "run-000", 1<<15, 0)
-	srv, err := server.New(st, server.Options{AdminToken: token})
+	namesA, fieldsA := pack(ctx, st, "run-000", 1<<15, 0)
+	srv, err := server.New(ctx, st, server.Options{AdminToken: token})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func main() {
 	retrieve(ctx, hs.URL, "run-000", namesA, fieldsA)
 
 	// Later: a new simulation run lands while the server keeps serving.
-	namesB, fieldsB := pack(st, "run-001", 1<<15, 1.7)
+	namesB, fieldsB := pack(ctx, st, "run-001", 1<<15, 1.7)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/v1/datasets/reload", nil)
 	if err != nil {
 		log.Fatal(err)

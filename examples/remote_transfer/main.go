@@ -78,7 +78,7 @@ func main() {
 		}
 		remotes = make([]*progqoi.Archive, workers)
 		for b := 0; b < workers; b++ {
-			arch, err := progqoi.OpenRemote(context.Background(), bases[0], fmt.Sprintf("block%d", b),
+			arch, err := progqoi.Open(context.Background(), fmt.Sprintf("%s/block%d", bases[0], b),
 				progqoi.WithReadAhead(*readAhead),
 				progqoi.WithEndpoints(bases[1:]...))
 			if err != nil {
@@ -157,15 +157,16 @@ func retrieveBlock(sess *progqoi.Session, vtot progqoi.QoI, rel float64, fields 
 // the same shape as n progqoid daemons over one archive directory),
 // returning the base URLs.
 func serveSelf(archives []*progqoi.Archive, n int) ([]string, error) {
+	ctx := context.Background()
 	st := storage.NewMemStore()
 	for b, arch := range archives {
-		if err := storage.WriteArchive(st, fmt.Sprintf("block%d", b), arch.Variables()); err != nil {
+		if err := storage.WriteArchive(ctx, st, fmt.Sprintf("block%d", b), arch.Variables()); err != nil {
 			return nil, err
 		}
 	}
 	bases := make([]string, n)
 	for i := range bases {
-		srv, err := server.New(st, server.Options{})
+		srv, err := server.New(ctx, st, server.Options{})
 		if err != nil {
 			return nil, err
 		}

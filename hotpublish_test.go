@@ -27,7 +27,7 @@ import (
 func packInto(t *testing.T, st storage.Store, name string, seed int64) (*Archive, *datagen.Dataset) {
 	t.Helper()
 	ds := datagen.GE("GE-"+name, 3, 128, seed)
-	_, err := storage.RefactorTo(st, name, ds.FieldNames, ds.Dims, core.RefactorOptions{
+	_, err := storage.RefactorTo(context.Background(), st, name, ds.FieldNames, ds.Dims, core.RefactorOptions{
 		Progressive: progressive.Options{Method: progressive.PMGARDHB, LosslessTail: true},
 		MaskZeros:   true,
 		Workers:     4,
@@ -101,7 +101,7 @@ func TestHotPublishEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	localAlpha, dsAlpha := packInto(t, st, "alpha", 21)
-	srv, err := server.New(st, server.Options{AdminToken: "tok"})
+	srv, err := server.New(context.Background(), st, server.Options{AdminToken: "tok"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestHotPublishEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.WriteVariable(localBeta.Variables()[0]); err != nil {
+	if err := w.WriteVariable(context.Background(), localBeta.Variables()[0]); err != nil {
 		t.Fatal(err)
 	}
 

@@ -85,11 +85,11 @@ func TestStorageToRetrievalPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := storage.WriteArchive(st, "s3d", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, "s3d", vars); err != nil {
 		t.Fatal(err)
 	}
 
-	got, err := storage.ReadArchive(st, "s3d")
+	got, err := storage.ReadArchive(context.Background(), st, "s3d")
 	if err != nil {
 		t.Fatal(err)
 	}

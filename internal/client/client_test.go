@@ -39,10 +39,10 @@ func testVars(t *testing.T) []*core.Variable {
 func serviceFor(t *testing.T, vars []*core.Variable, middleware func(http.Handler) http.Handler) *httptest.Server {
 	t.Helper()
 	st := storage.NewMemStore()
-	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(st, server.Options{})
+	srv, err := server.New(context.Background(), st, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,17 +442,18 @@ func TestConcurrentSessionsShareWire(t *testing.T) {
 }
 
 func TestRemoteStore(t *testing.T) {
+	ctx := context.Background()
 	hs, vars := testService(t, nil)
 	c, err := New(hs.URL, fastOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	rs := c.Store()
-	keys, err := rs.Keys()
+	keys, err := rs.Keys(ctx)
 	if err != nil || len(keys) == 0 {
 		t.Fatalf("keys: %v %v", keys, err)
 	}
-	got, err := storage.ReadArchive(rs, "ge")
+	got, err := storage.ReadArchive(context.Background(), rs, "ge")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,10 +465,10 @@ func TestRemoteStore(t *testing.T) {
 			t.Fatalf("variable %d differs after remote ReadArchive", i)
 		}
 	}
-	if _, err := rs.Get("no-such-key"); !errors.Is(err, storage.ErrNotFound) {
+	if _, err := rs.Get(ctx, "no-such-key"); !errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("missing key: %v", err)
 	}
-	if err := rs.Put("k", []byte("v")); !errors.Is(err, ErrReadOnly) {
+	if err := rs.Put(ctx, "k", []byte("v")); !errors.Is(err, ErrReadOnly) {
 		t.Fatalf("put on read-only store: %v", err)
 	}
 }

@@ -27,12 +27,12 @@ type clusterNode struct {
 func testCluster(t *testing.T, vars []*core.Variable, n int) []*clusterNode {
 	t.Helper()
 	st := storage.NewMemStore()
-	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
 	nodes := make([]*clusterNode, n)
 	for i := range nodes {
-		srv, err := server.New(st, server.Options{})
+		srv, err := server.New(context.Background(), st, server.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -322,12 +322,12 @@ func TestBreakerRoutesAroundSickNodeThenRecovers(t *testing.T) {
 func TestOpenDiscoversPeers(t *testing.T) {
 	vars := testVars(t)
 	st := storage.NewMemStore()
-	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
 	var peers []*httptest.Server
 	for i := 0; i < 2; i++ {
-		srv, err := server.New(st, server.Options{})
+		srv, err := server.New(context.Background(), st, server.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,7 +335,7 @@ func TestOpenDiscoversPeers(t *testing.T) {
 		t.Cleanup(hs.Close)
 		peers = append(peers, hs)
 	}
-	seedSrv, err := server.New(st, server.Options{Peers: []string{peers[0].URL, peers[1].URL}})
+	seedSrv, err := server.New(context.Background(), st, server.Options{Peers: []string{peers[0].URL, peers[1].URL}})
 	if err != nil {
 		t.Fatal(err)
 	}

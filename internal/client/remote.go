@@ -33,15 +33,16 @@ type RemoteStore struct{ c *Client }
 func (c *Client) Store() *RemoteStore { return &RemoteStore{c: c} }
 
 // Put implements storage.Store; it always fails with ErrReadOnly.
-func (s *RemoteStore) Put(key string, val []byte) error {
+func (s *RemoteStore) Put(ctx context.Context, key string, val []byte) error {
 	return fmt.Errorf("%w (key %q)", ErrReadOnly, key)
 }
 
-// Get implements storage.Store. The storage.Store interface carries no
-// context, so reads run under context.Background().
-func (s *RemoteStore) Get(key string) ([]byte, error) {
-	//progqoivet:allow ctxflow -- storage.Store carries no context; adapter reads run under a root
-	b, err := s.c.do(context.Background(), "GET", "/v1/store/blob/"+key, nil, "")
+// Get implements storage.Store. A nil ctx defaults to Background.
+func (s *RemoteStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b, err := s.c.do(ctx, "GET", "/v1/store/blob/"+key, nil, "")
 	var he *HTTPError
 	if errors.As(err, &he) && he.Status == 404 {
 		return nil, fmt.Errorf("%w: %q", storage.ErrNotFound, key)
@@ -49,10 +50,12 @@ func (s *RemoteStore) Get(key string) ([]byte, error) {
 	return b, err
 }
 
-// Keys implements storage.Store.
-func (s *RemoteStore) Keys() ([]string, error) {
-	//progqoivet:allow ctxflow -- storage.Store carries no context; adapter reads run under a root
-	b, err := s.c.do(context.Background(), "GET", "/v1/store/keys", nil, "")
+// Keys implements storage.Store. A nil ctx defaults to Background.
+func (s *RemoteStore) Keys(ctx context.Context) ([]string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b, err := s.c.do(ctx, "GET", "/v1/store/keys", nil, "")
 	if err != nil {
 		return nil, err
 	}

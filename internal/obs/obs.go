@@ -36,6 +36,7 @@ const (
 	CatCommit   = "commit"   // block commit (reconstruction) per variable
 	CatEstimate = "estimate" // QoI error estimation per iteration
 	CatHTTP     = "http"     // individual HTTP attempts (raw, incl. retries)
+	CatStore    = "store"    // object-store wire fetches; Bytes mirrors cold-fetch counters
 )
 
 // Span is one timed phase of a retrieval. Fields are fixed-width so a

@@ -6,6 +6,7 @@ package server
 // that keeps a republished dataset from serving its predecessor's bytes.
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"io"
@@ -30,7 +31,7 @@ func packDataset(t *testing.T, st storage.Store, name string, seed int64) []*cor
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := storage.WriteArchive(st, name, vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, name, vars); err != nil {
 		t.Fatal(err)
 	}
 	return vars
@@ -59,7 +60,7 @@ func TestReloadAdminGate(t *testing.T) {
 	packDataset(t, st, "alpha", 1)
 
 	// Admin disabled: the route exists but always refuses.
-	srv, err := New(st, Options{})
+	srv, err := New(context.Background(), st, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestReloadAdminGate(t *testing.T) {
 	}
 
 	// Admin enabled: missing and wrong tokens are 401, the right one 200.
-	srv2, err := New(st, Options{AdminToken: "s3cret"})
+	srv2, err := New(context.Background(), st, Options{AdminToken: "s3cret"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestReloadAdminGate(t *testing.T) {
 func TestReloadPublishesAndRemoves(t *testing.T) {
 	st := storage.NewMemStore()
 	packDataset(t, st, "alpha", 1)
-	srv, err := New(st, Options{AdminToken: "tok"})
+	srv, err := New(context.Background(), st, Options{AdminToken: "tok"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestReloadPublishesAndRemoves(t *testing.T) {
 	}
 
 	// Removing alpha's manifest unpublishes it on the next reload.
-	if err := st.Put("alpha.manifest", []byte{}); err != nil {
+	if err := st.Put(context.Background(), "alpha.manifest", []byte{}); err != nil {
 		t.Fatal(err)
 	}
 	// MemStore has no delete; an empty manifest is invalid, so prove the
@@ -162,7 +163,7 @@ func TestReloadTornPublishIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	packDataset(t, st, "alpha", 1)
-	srv, err := New(st, Options{AdminToken: "tok"})
+	srv, err := New(context.Background(), st, Options{AdminToken: "tok"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestReloadTornPublishIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.WriteVariable(vars[0]); err != nil {
+	if err := w.WriteVariable(context.Background(), vars[0]); err != nil {
 		t.Fatal(err)
 	}
 	// (writer abandoned: simulated SIGKILL before Close)
@@ -204,7 +205,7 @@ func TestReloadTornPublishIgnored(t *testing.T) {
 func TestReloadKeepsUnchangedDatasetsWarm(t *testing.T) {
 	st := storage.NewMemStore()
 	packDataset(t, st, "stable", 1)
-	srv, err := New(st, Options{AdminToken: "tok"})
+	srv, err := New(context.Background(), st, Options{AdminToken: "tok"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestReloadKeepsUnchangedDatasetsWarm(t *testing.T) {
 func TestReloadRepublishServesFreshBytes(t *testing.T) {
 	st := storage.NewMemStore()
 	packDataset(t, st, "ds", 1)
-	srv, err := New(st, Options{AdminToken: "tok"})
+	srv, err := New(context.Background(), st, Options{AdminToken: "tok"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,7 @@ package server
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -243,8 +244,9 @@ type Server struct {
 // is loaded once to precompute wire artifacts and fragment offsets, then
 // its payloads are dropped: steady-state reads go through the hot cache in
 // front of the store. Reload repeats the scan later with the same
-// validation, swapping the catalog atomically.
-func New(st storage.Store, opt Options) (*Server, error) {
+// validation, swapping the catalog atomically. ctx bounds the startup
+// store scan — a remote store that hangs on boot is cancellable.
+func New(ctx context.Context, st storage.Store, opt Options) (*Server, error) {
 	if opt.MaxInflight <= 0 {
 		opt.MaxInflight = DefaultMaxInflight
 	}
@@ -265,7 +267,7 @@ func New(st storage.Store, opt Options) (*Server, error) {
 	}
 	s.fragsReqHB = obs.NewHistogram(obs.ByteBuckets()...)
 	s.fragsRespHB = obs.NewHistogram(obs.ByteBuckets()...)
-	cat, err := s.loadCatalog(nil)
+	cat, err := s.loadCatalog(ctx, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -293,8 +295,8 @@ func New(st storage.Store, opt Options) (*Server, error) {
 // replaced: a dataset whose stored bytes are unchanged is carried over
 // verbatim, keeping its cache generation warm and its identity stable for
 // sessions mid-retrieval.
-func (s *Server) loadCatalog(prev *catalog) (*catalog, error) {
-	keys, err := s.store.Keys()
+func (s *Server) loadCatalog(ctx context.Context, prev *catalog) (*catalog, error) {
+	keys, err := s.store.Keys(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("server: list store: %w", err)
 	}
@@ -308,7 +310,7 @@ func (s *Server) loadCatalog(prev *catalog) (*catalog, error) {
 		if prev != nil {
 			old = prev.datasets[name]
 		}
-		ds, err := s.loadDataset(name, old)
+		ds, err := s.loadDataset(ctx, name, old)
 		if err != nil {
 			return nil, err
 		}
@@ -326,13 +328,13 @@ func (s *Server) loadCatalog(prev *catalog) (*catalog, error) {
 // returned instead of the rebuild, so an unchanged dataset keeps its load
 // generation — and with it the hot-cache slice and the object identity
 // in-flight retrievals depend on.
-func (s *Server) loadDataset(name string, prev *dataset) (*dataset, error) {
-	mraw, err := s.store.Get(name + ".manifest")
+func (s *Server) loadDataset(ctx context.Context, name string, prev *dataset) (*dataset, error) {
+	mraw, err := s.store.Get(ctx, name+".manifest")
 	if err != nil {
 		return nil, fmt.Errorf("server: load dataset %q: %w", name, err)
 	}
 	fingerprint := etag(mraw)
-	vars, err := storage.ReadArchive(s.store, name)
+	vars, err := storage.ReadArchive(ctx, s.store, name)
 	if err != nil {
 		return nil, fmt.Errorf("server: load dataset %q: %w", name, err)
 	}
@@ -355,7 +357,7 @@ func (s *Server) loadDataset(name string, prev *dataset) (*dataset, error) {
 		}
 		ds.fragTags[vi] = tags
 		key := storage.VarKey(name, v.Name)
-		raw, err := s.store.Get(key)
+		raw, err := s.store.Get(ctx, key)
 		if err != nil {
 			return nil, fmt.Errorf("server: locate fragments of %s/%s: %w", name, v.Name, err)
 		}
@@ -396,11 +398,11 @@ func (s *Server) loadDataset(name string, prev *dataset) (*dataset, error) {
 // changed or new ones load under fresh cache generations. On any error
 // the old catalog stays installed and the failure is counted. Concurrent
 // Reloads serialize.
-func (s *Server) Reload() (ReloadResult, error) {
+func (s *Server) Reload(ctx context.Context) (ReloadResult, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	old := s.cat.Load()
-	cat, err := s.loadCatalog(old)
+	cat, err := s.loadCatalog(ctx, old)
 	if err != nil {
 		s.reloadFailures.Add(1)
 		return ReloadResult{}, err
@@ -580,7 +582,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // dataset's load generation, so a republished dataset starts from a cold
 // slice of the cache instead of inheriting its predecessor's bytes (stale
 // entries age out of the LRU).
-func (s *Server) fragment(ds *dataset, vi, fi int) ([]byte, error) {
+func (s *Server) fragment(ctx context.Context, ds *dataset, vi, fi int) ([]byte, error) {
 	key := strconv.FormatInt(ds.gen, 10) + "\x00" + ds.vars[vi].Name + "\x00" + strconv.Itoa(fi)
 	if b, ok := s.hot.get(key); ok {
 		return b, nil
@@ -591,14 +593,14 @@ func (s *Server) fragment(ds *dataset, vi, fi int) ([]byte, error) {
 		err error
 	)
 	if rr, ok := s.store.(storage.RangeReader); ok {
-		b, err = rr.GetRange(ds.varKeys[vi], loc.Off, loc.Len)
+		b, err = rr.GetRange(ctx, ds.varKeys[vi], loc.Off, loc.Len)
 	} else {
 		// Store without partial reads: load the variable blob and copy the
 		// fragment out. The clone matters: caching a subslice would pin
 		// the whole blob's backing array while the cache accounts only the
 		// fragment's length, making the byte bound fiction.
 		var raw []byte
-		raw, err = s.store.Get(ds.varKeys[vi])
+		raw, err = s.store.Get(ctx, ds.varKeys[vi])
 		if err == nil {
 			if loc.Off+loc.Len > int64(len(raw)) {
 				err = fmt.Errorf("server: %s/%s blob shrank under us", ds.name, ds.vars[vi].Name)
@@ -666,6 +668,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("progqoid_reload_failures_total", "counter", "Hot publishes rejected by store validation (catalog kept).", st.ReloadFailures)
 	metric("progqoid_datasets_loaded_total", "counter", "Datasets ingested into a serving catalog, at startup and on each reload.", st.DatasetsLoaded)
 
+	// Cold-fetch counters, when the backing store reports them (object
+	// store backends): wire reads that missed every cache in front of the
+	// bucket. Summed bytes reconcile with the trace's store-span bytes.
+	if fs, ok := s.store.(storage.FetchStatser); ok {
+		cf := fs.FetchStats()
+		metric("progqoid_store_cold_fetches_total", "counter", "Object-store wire fetches (cache misses reaching the bucket).", cf.ColdFetches)
+		metric("progqoid_store_cold_fetch_bytes_total", "counter", "Bytes fetched cold from the object store.", cf.ColdFetchBytes)
+		metric("progqoid_store_cold_fetch_seconds_total", "counter", "Cumulative wall time spent in cold object-store fetches.", cf.ColdFetchSeconds)
+	}
+
 	// Latency and size distributions.
 	obs.WriteFamilyHeader(&b, "progqoid_request_duration_seconds", "histogram", "Request handling latency, by route family.")
 	for i, l := range routeLabels {
@@ -722,7 +734,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unauthorized", http.StatusUnauthorized)
 		return
 	}
-	res, err := s.Reload()
+	res, err := s.Reload(r.Context())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -764,7 +776,7 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "fragment index out of range", http.StatusNotFound)
 		return
 	}
-	frag, err := s.fragment(ds, vi, fi)
+	frag, err := s.fragment(r.Context(), ds, vi, fi)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -827,7 +839,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			sent[fragID{vi, fi}] = true
-			payload, err := s.fragment(ds, vi, fi)
+			payload, err := s.fragment(r.Context(), ds, vi, fi)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -843,7 +855,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStoreKeys(w http.ResponseWriter, r *http.Request) {
-	keys, err := s.store.Keys()
+	keys, err := s.store.Keys(r.Context())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -855,7 +867,7 @@ func (s *Server) handleStoreKeys(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStoreBlob(w http.ResponseWriter, r *http.Request) {
-	blob, err := s.store.Get(r.PathValue("key"))
+	blob, err := s.store.Get(r.Context(), r.PathValue("key"))
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, storage.ErrNotFound) || errors.Is(err, storage.ErrInvalidKey) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
@@ -36,10 +37,10 @@ func testServer(t *testing.T, opt Options) (*httptest.Server, *Server, []*core.V
 	t.Helper()
 	vars := testVars(t)
 	st := storage.NewMemStore()
-	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(st, opt)
+	srv, err := New(context.Background(), st, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ type gateStore struct {
 	release chan struct{}
 }
 
-func (g *gateStore) Get(key string) ([]byte, error) {
+func (g *gateStore) Get(ctx context.Context, key string) ([]byte, error) {
 	g.mu.Lock()
 	armed := g.armed
 	g.mu.Unlock()
@@ -298,17 +299,17 @@ func (g *gateStore) Get(key string) ([]byte, error) {
 		g.started <- key
 		<-g.release
 	}
-	return g.Store.Get(key)
+	return g.Store.Get(ctx, key)
 }
 
 func TestConcurrencyLimit(t *testing.T) {
 	vars := testVars(t)
 	mem := storage.NewMemStore()
-	if err := storage.WriteArchive(mem, "ge", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), mem, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
 	gs := &gateStore{Store: mem, started: make(chan string, 16), release: make(chan struct{})}
-	srv, err := New(gs, Options{MaxInflight: 2})
+	srv, err := New(context.Background(), gs, Options{MaxInflight: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,17 +461,17 @@ func TestHotCacheDisabledStillServes(t *testing.T) {
 func TestFragmentCorruptAtRestDetected(t *testing.T) {
 	vars := testVars(t)
 	st := storage.NewMemStore()
-	if err := storage.WriteArchive(st, "ge", vars); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(st, Options{HotCacheBytes: -1})
+	srv, err := New(context.Background(), st, Options{HotCacheBytes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Rot one byte inside fragment 0's payload region after startup: the
 	// per-read ETag check must refuse to serve it.
 	key := storage.VarKey("ge", vars[0].Name)
-	raw, err := st.Get(key)
+	raw, err := st.Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -479,7 +480,7 @@ func TestFragmentCorruptAtRestDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw[locs[0].Off] ^= 0xff
-	if err := st.Put(key, raw); err != nil {
+	if err := st.Put(context.Background(), key, raw); err != nil {
 		t.Fatal(err)
 	}
 	hs := httptest.NewServer(srv)

@@ -1,0 +1,98 @@
+package objstore
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// byteCache is the store's byte-bounded read-through LRU: the layer that
+// makes a bucket-backed progqoid node a pure cache. Keys distinguish
+// full-object reads ("g\x00<key>") from ranged reads
+// ("r\x00<key>\x00<off>\x00<len>") so a republish can drop both shapes
+// for one object. Values are held by reference — object bytes are
+// immutable once fetched — so a hit costs no copy. A zero-capacity cache
+// stores nothing: every read reaches the bucket, slower but correct.
+type byteCache struct {
+	mu        sync.Mutex
+	capBytes  int64                    // immutable after construction
+	size      int64                    // guarded by mu
+	ll        *list.List               // guarded by mu; front = most recently used
+	items     map[string]*list.Element // guarded by mu
+	hits      int64                    // guarded by mu
+	misses    int64                    // guarded by mu
+	evictions int64                    // guarded by mu
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newByteCache(capBytes int64) *byteCache {
+	return &byteCache{capBytes: capBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *byteCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *byteCache) add(key string, val []byte) {
+	if c.capBytes <= 0 || int64(len(val)) > c.capBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.size += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.size += int64(len(val))
+	}
+	for c.size > c.capBytes && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// drop removes the exact full-object entry and every ranged entry under
+// prefix — called after a Put so a republished object can never serve
+// its predecessor's cached bytes.
+func (c *byteCache) drop(exact, prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key != exact && !strings.HasPrefix(e.key, prefix) {
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.val))
+	}
+}
+
+// stats is one consistent snapshot of the cache counters.
+func (c *byteCache) stats() (bytes int64, entries int, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size, c.ll.Len(), c.hits, c.misses, c.evictions
+}

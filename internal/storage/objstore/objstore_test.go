@@ -1,0 +1,428 @@
+package objstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"progqoi/internal/obs"
+	"progqoi/internal/storage"
+	"progqoi/internal/storage/objstore/miniobj"
+)
+
+// Every test runs with SigV4 credentials configured unless it says
+// otherwise, so the client's signer and miniobj's independently written
+// verifier cross-check each other on every request.
+
+const (
+	testBucket = "archives"
+	testAccess = "AKIDTEST"
+	testSecret = "sekrit/with+chars"
+)
+
+// newPair starts a credentialed mock bucket and a store pointed at it.
+// mutate can adjust Options before New (nil for defaults).
+func newPair(t *testing.T, mutate func(*Options)) (*miniobj.Server, *Store) {
+	t.Helper()
+	srv := miniobj.New(testBucket, miniobj.Credentials{AccessKey: testAccess, SecretKey: testSecret})
+	t.Cleanup(srv.Close)
+	opts := Options{
+		Endpoint:     srv.URL(),
+		Bucket:       testBucket,
+		AccessKey:    testAccess,
+		SecretKey:    testSecret,
+		RetryBackoff: time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	st, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv, st
+}
+
+func TestNewValidates(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"empty endpoint", Options{Bucket: "b"}},
+		{"relative endpoint", Options{Endpoint: "localhost:9000", Bucket: "b"}},
+		{"wrong scheme", Options{Endpoint: "ftp://host", Bucket: "b"}},
+		{"missing bucket", Options{Endpoint: "http://h"}},
+		{"slash in bucket", Options{Endpoint: "http://h", Bucket: "a/b"}},
+		{"query char in bucket", Options{Endpoint: "http://h", Bucket: "b?x"}},
+		{"half credentials", Options{Endpoint: "http://h", Bucket: "b", AccessKey: "k"}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opts); err == nil {
+			t.Errorf("%s: New accepted %+v", tc.name, tc.opts)
+		}
+	}
+	st, err := New(Options{Endpoint: "http://h", Bucket: "b"})
+	if err != nil {
+		t.Fatalf("valid opts rejected: %v", err)
+	}
+	if st.opts.Region != "us-east-1" || st.opts.MaxRetries != DefaultMaxRetries ||
+		st.opts.CacheBytes != DefaultCacheBytes || st.opts.RetryBackoff != DefaultRetryBackoff {
+		t.Errorf("defaults not applied: %+v", st.opts)
+	}
+	if st, _ := New(Options{Endpoint: "http://h", Bucket: "b", MaxRetries: -1, CacheBytes: -1}); st.opts.MaxRetries != 0 || st.opts.CacheBytes != 0 {
+		t.Errorf("negative MaxRetries/CacheBytes should disable, got %+v", st.opts)
+	}
+}
+
+func TestRoundTripSigned(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.Prefix = "team data/v1" })
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 64)
+	if err := st.Put(ctx, "ds.manifest", payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if got := srv.Keys(); len(got) != 1 || got[0] != "team data/v1/ds.manifest" {
+		t.Fatalf("bucket keys = %v, want the prefixed object", got)
+	}
+	b, err := st.Get(ctx, "ds.manifest")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(b, payload) {
+		t.Fatalf("Get returned %d bytes, want %d", len(b), len(payload))
+	}
+	keys, err := st.Keys(ctx)
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	if len(keys) != 1 || keys[0] != "ds.manifest" {
+		t.Fatalf("Keys = %v, want [ds.manifest]", keys)
+	}
+}
+
+func TestSignatureRejected(t *testing.T) {
+	_, st := newPair(t, func(o *Options) { o.SecretKey = "wrong-secret" })
+	if _, err := st.Get(context.Background(), "k"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("bad secret: got %v, want ErrAccessDenied", err)
+	}
+}
+
+func TestUnsignedAgainstOpenBucket(t *testing.T) {
+	srv := miniobj.New(testBucket, miniobj.Credentials{})
+	defer srv.Close()
+	srv.Put("k", []byte("public"))
+	st, err := New(Options{Endpoint: srv.URL(), Bucket: testBucket})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Get(context.Background(), "k")
+	if err != nil || string(b) != "public" {
+		t.Fatalf("unsigned Get = %q, %v", b, err)
+	}
+}
+
+func TestGetRangeExact(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.CacheBytes = -1 })
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	srv.Put("blob", data)
+	ctx := context.Background()
+	for _, r := range []struct{ off, n int64 }{{0, 1}, {17, 100}, {4000, 96}, {0, 4096}} {
+		got, err := st.GetRange(ctx, "blob", r.off, r.n)
+		if err != nil {
+			t.Fatalf("GetRange(%d,%d): %v", r.off, r.n, err)
+		}
+		if !bytes.Equal(got, data[r.off:r.off+r.n]) {
+			t.Fatalf("GetRange(%d,%d) returned wrong bytes", r.off, r.n)
+		}
+	}
+	// Zero-length ranges answer locally.
+	gets0, _, _, _ := srv.Stats()
+	if got, err := st.GetRange(ctx, "blob", 10, 0); err != nil || len(got) != 0 {
+		t.Fatalf("zero-length range = %v, %v", got, err)
+	}
+	if gets, _, _, _ := srv.Stats(); gets != gets0 {
+		t.Fatalf("zero-length range hit the wire")
+	}
+	// Negative ranges are rejected locally.
+	if _, err := st.GetRange(ctx, "blob", -1, 4); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	// Ranges past the object fail (416 from the server).
+	if _, err := st.GetRange(ctx, "blob", 5000, 4); err == nil {
+		t.Fatal("out-of-bounds range accepted")
+	}
+}
+
+func TestRetryTransient(t *testing.T) {
+	srv, st := newPair(t, nil)
+	srv.Put("k", []byte("value"))
+	ctx := context.Background()
+
+	srv.Fail503(2) // within the default budget of 3
+	if b, err := st.Get(ctx, "k"); err != nil || string(b) != "value" {
+		t.Fatalf("Get after 2x503 = %q, %v", b, err)
+	}
+
+	srv.TruncateNext(1)
+	if b, err := st.GetRange(ctx, "k", 0, 5); err != nil || string(b) != "value" {
+		t.Fatalf("GetRange after truncation = %q, %v", b, err)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.MaxRetries = 2; o.CacheBytes = -1 })
+	srv.Put("k", []byte("value"))
+	srv.Fail503(10)
+	_, err := st.Get(context.Background(), "k")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != 503 {
+		t.Fatalf("got %v, want StatusError 503", err)
+	}
+}
+
+func TestPermanentFailuresDoNotRetry(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.CacheBytes = -1 })
+	srv.Put("k", []byte("value"))
+	ctx := context.Background()
+
+	if _, err := st.Get(ctx, "missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("missing key: got %v, want storage.ErrNotFound", err)
+	}
+
+	srv.Deny403(true)
+	_, _, _, denied0 := srv.Stats()
+	if _, err := st.Get(ctx, "k"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("denied: got %v, want ErrAccessDenied", err)
+	}
+	if _, _, _, denied := srv.Stats(); denied != denied0+1 {
+		t.Fatalf("403 was retried: %d denials for one Get", denied-denied0)
+	}
+}
+
+func TestETagPinning(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.CacheBytes = -1 })
+	srv.Put("k", []byte("incarnation-one"))
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "k"); err != nil {
+		t.Fatalf("first Get: %v", err)
+	}
+	// Same bytes, same ETag: later reads keep working.
+	if _, err := st.GetRange(ctx, "k", 0, 4); err != nil {
+		t.Fatalf("ranged read under pin: %v", err)
+	}
+	// Republish behind the store's back: every read must now fail — no
+	// retry, no stale bytes.
+	srv.Mutate("k", []byte("incarnation-TWO"))
+	if _, err := st.Get(ctx, "k"); !errors.Is(err, ErrETagChanged) {
+		t.Fatalf("full read after mutate: got %v, want ErrETagChanged", err)
+	}
+	if _, err := st.GetRange(ctx, "k", 0, 4); !errors.Is(err, ErrETagChanged) {
+		t.Fatalf("ranged read after mutate: got %v, want ErrETagChanged", err)
+	}
+	// A Put through this store re-pins: reads recover on the new bytes.
+	if err := st.Put(ctx, "k", []byte("incarnation-three")); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	b, err := st.Get(ctx, "k")
+	if err != nil || string(b) != "incarnation-three" {
+		t.Fatalf("Get after re-Put = %q, %v", b, err)
+	}
+}
+
+func TestCacheServesRepeatsAndSlicesFullObjects(t *testing.T) {
+	srv, st := newPair(t, nil)
+	data := bytes.Repeat([]byte("x"), 1000)
+	srv.Put("k", data)
+	ctx := context.Background()
+
+	if _, err := st.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	// A range of a cached full object is sliced locally, not fetched.
+	if b, err := st.GetRange(ctx, "k", 10, 20); err != nil || len(b) != 20 {
+		t.Fatalf("sliced range = %d bytes, %v", len(b), err)
+	}
+	gets, _, _, _ := srv.Stats()
+	if gets != 1 {
+		t.Fatalf("3 reads cost %d wire GETs, want 1", gets)
+	}
+	if _, _, hits, _, _ := st.CacheStats(); hits < 1 {
+		t.Fatalf("cache hits = %d, want >= 1", hits)
+	}
+	st2 := st.FetchStats()
+	if st2.ColdFetches != 1 || st2.ColdFetchBytes != 1000 {
+		t.Fatalf("FetchStats = %+v, want 1 fetch / 1000 bytes", st2)
+	}
+
+	// Put drops both cache shapes for the key.
+	if err := st.Put(ctx, "k", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Get(ctx, "k")
+	if err != nil || string(b) != "fresh" {
+		t.Fatalf("Get after Put = %q, %v (stale cache?)", b, err)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.CacheBytes = 2048 })
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		srv.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 1024))
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := st.Get(ctx, fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, entries, _, _, evictions := st.CacheStats()
+	if size > 2048 || entries > 2 {
+		t.Fatalf("cache over budget: %d bytes in %d entries", size, entries)
+	}
+	if evictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2", evictions)
+	}
+	// Oversized values bypass the cache entirely.
+	srv.Put("big", bytes.Repeat([]byte("b"), 4096))
+	if _, err := st.Get(ctx, "big"); err != nil {
+		t.Fatal(err)
+	}
+	if size, _, _, _, _ := st.CacheStats(); size > 2048 {
+		t.Fatalf("oversized value cached: %d bytes", size)
+	}
+}
+
+func TestColdFetchSpansReconcile(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.CacheBytes = -1 })
+	srv.Put("a", bytes.Repeat([]byte("a"), 100))
+	srv.Put("b", bytes.Repeat([]byte("b"), 300))
+	tr := obs.NewTrace()
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	if _, err := st.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetRange(ctx, "b", 50, 200); err != nil {
+		t.Fatal(err)
+	}
+	var spanBytes int64
+	var spans int
+	for _, sp := range tr.Spans() {
+		if sp.Cat == obs.CatStore {
+			spanBytes += sp.Bytes
+			spans++
+		}
+	}
+	fs := st.FetchStats()
+	if spans != 2 || spanBytes != fs.ColdFetchBytes || fs.ColdFetchBytes != 300 {
+		t.Fatalf("spans=%d spanBytes=%d stats=%+v; want 2 spans summing to the cold-fetch counter (300)",
+			spans, spanBytes, fs)
+	}
+	if fs.ColdFetchSeconds <= 0 {
+		t.Fatalf("ColdFetchSeconds = %v, want > 0", fs.ColdFetchSeconds)
+	}
+}
+
+func TestFallbackTraceOption(t *testing.T) {
+	tr := obs.NewTrace()
+	srv, st := newPair(t, func(o *Options) { o.Trace = tr; o.CacheBytes = -1 })
+	srv.Put("k", []byte("bytes"))
+	// Context carries no trace: the store's own Trace records the span.
+	if _, err := st.Get(context.Background(), "k"); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Cat != obs.CatStore || spans[0].Bytes != 5 {
+		t.Fatalf("fallback trace spans = %+v", spans)
+	}
+}
+
+func TestKeysPaginationAndNesting(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.Prefix = "p" })
+	for i := 0; i < 7; i++ {
+		srv.Put(fmt.Sprintf("p/ds%d.manifest", i), []byte("m"))
+	}
+	srv.Put("p/nested/skip.var", []byte("x")) // pseudo-directory: not a flat archive key
+	srv.Put("outside.manifest", []byte("x"))  // other prefix: invisible
+	srv.SetMaxKeys(2)                         // force 4+ pages
+	keys, err := st.Keys(context.Background())
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	if len(keys) != 7 {
+		t.Fatalf("Keys = %v, want the 7 flat p/ keys", keys)
+	}
+	for i, k := range keys {
+		if want := fmt.Sprintf("ds%d.manifest", i); k != want {
+			t.Fatalf("keys[%d] = %q, want %q", i, k, want)
+		}
+	}
+	_, lists, _, _ := srv.Stats()
+	if lists < 4 {
+		t.Fatalf("%d list pages served, want >= 4 (pagination not exercised)", lists)
+	}
+}
+
+func TestContextCancellationStopsRetry(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.RetryBackoff = time.Hour })
+	srv.Put("k", []byte("v"))
+	srv.Fail503(10)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := st.Get(ctx, "k")
+	if err == nil {
+		t.Fatal("Get succeeded under permanent 503")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded in chain", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation did not interrupt backoff (took %v)", time.Since(start))
+	}
+}
+
+func TestSlowStoreHonorsDeadline(t *testing.T) {
+	srv, st := newPair(t, func(o *Options) { o.MaxRetries = -1 })
+	srv.Put("k", []byte("v"))
+	srv.SetDelay(2 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := st.Get(ctx, "k"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow store: got %v, want deadline exceeded", err)
+	}
+}
+
+func TestSpecialCharacterKeysSignCorrectly(t *testing.T) {
+	// Keys with spaces, '+', '=' and unicode must survive the
+	// sign-encode / verify-decode round trip byte-identically.
+	srv, st := newPair(t, func(o *Options) { o.Prefix = "pre fix" })
+	ctx := context.Background()
+	for _, key := range []string{"a b.var", "plus+plus", "eq=sign", "tilde~ok", "unié.var"} {
+		want := []byte("payload for " + key)
+		if err := st.Put(ctx, key, want); err != nil {
+			t.Fatalf("Put %q: %v", key, err)
+		}
+		got, err := st.Get(ctx, key)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get %q = %q, %v", key, got, err)
+		}
+	}
+	_ = srv
+}
+
+func TestStatusErrorMessage(t *testing.T) {
+	e := &StatusError{Op: "range", Key: "ds.v.var", Status: 502}
+	if msg := e.Error(); !strings.Contains(msg, "range") || !strings.Contains(msg, "502") {
+		t.Fatalf("StatusError message %q", msg)
+	}
+}

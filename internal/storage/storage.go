@@ -23,6 +23,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -44,24 +45,57 @@ var ErrNotFound = errors.New("storage: not found")
 // ErrInvalidKey reports a key outside the safe character set.
 var ErrInvalidKey = errors.New("storage: invalid key")
 
-// Store is a minimal fragment store.
+// Store is a minimal fragment store. Every method takes the caller's
+// context, so a store backed by real I/O (a directory, an object-store
+// bucket, a remote fragment service) honors session cancellation and
+// deadlines end to end; in-memory implementations only check ctx.Err().
+// A nil ctx is treated as context.Background().
 type Store interface {
 	// Put writes a value under key (overwrites).
-	Put(key string, val []byte) error
+	Put(ctx context.Context, key string, val []byte) error
 	// Get reads a value; ErrNotFound when missing.
-	Get(key string) ([]byte, error)
+	Get(ctx context.Context, key string) ([]byte, error)
 	// Keys lists all keys in lexical order.
-	Keys() ([]string, error)
+	Keys(ctx context.Context) ([]string, error)
 }
 
 // RangeReader is an optional Store extension for partial reads. A server
 // holding only fragment offsets (see VariableFragmentRanges) uses it to
-// pull one fragment off disk without materializing the whole variable
-// blob. Implementations must return exactly length bytes or an error.
+// pull one fragment off disk — or out of a bucket with one HTTP ranged
+// GET — without materializing the whole variable blob. Implementations
+// must return exactly length bytes or an error.
 type RangeReader interface {
 	// GetRange reads length bytes starting at off within the value stored
 	// under key. Reads past the end of the value fail rather than truncate.
-	GetRange(key string, off, length int64) ([]byte, error)
+	GetRange(ctx context.Context, key string, off, length int64) ([]byte, error)
+}
+
+// ctxErr reports the context's cancellation state, tolerating the nil
+// context the Store contract allows.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// FetchStats counts a store's cold reads — the fetches that actually went
+// to the backing medium rather than a read-through cache. The object-store
+// backend exposes them so a serving node can reconcile "bytes pulled from
+// the bucket" against its hot-cache miss traffic and its /metrics scrape.
+type FetchStats struct {
+	// ColdFetches counts Get/GetRange calls served by the backend.
+	ColdFetches int64
+	// ColdFetchBytes is the payload bytes those fetches carried.
+	ColdFetchBytes int64
+	// ColdFetchSeconds is the cumulative wall time spent in them.
+	ColdFetchSeconds float64
+}
+
+// FetchStatser is an optional Store extension reporting cold-fetch
+// accounting (see FetchStats). internal/server surfaces it on /metrics.
+type FetchStatser interface {
+	FetchStats() FetchStats
 }
 
 // MemStore is an in-memory Store, safe for concurrent use.
@@ -74,7 +108,10 @@ type MemStore struct {
 func NewMemStore() *MemStore { return &MemStore{m: map[string][]byte{}} }
 
 // Put implements Store.
-func (s *MemStore) Put(key string, val []byte) error {
+func (s *MemStore) Put(ctx context.Context, key string, val []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m[key] = append([]byte(nil), val...)
@@ -82,7 +119,10 @@ func (s *MemStore) Put(key string, val []byte) error {
 }
 
 // Get implements Store.
-func (s *MemStore) Get(key string) ([]byte, error) {
+func (s *MemStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	v, ok := s.m[key]
@@ -93,7 +133,10 @@ func (s *MemStore) Get(key string) ([]byte, error) {
 }
 
 // GetRange implements RangeReader.
-func (s *MemStore) GetRange(key string, off, length int64) ([]byte, error) {
+func (s *MemStore) GetRange(ctx context.Context, key string, off, length int64) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	v, ok := s.m[key]
@@ -107,7 +150,10 @@ func (s *MemStore) GetRange(key string, off, length int64) ([]byte, error) {
 }
 
 // Keys implements Store.
-func (s *MemStore) Keys() ([]string, error) {
+func (s *MemStore) Keys(ctx context.Context) ([]string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.m))
@@ -151,7 +197,10 @@ func validKey(key string) error {
 }
 
 // Put implements Store.
-func (s *DirStore) Put(key string, val []byte) error {
+func (s *DirStore) Put(ctx context.Context, key string, val []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if err := validKey(key); err != nil {
 		return err
 	}
@@ -163,7 +212,10 @@ func (s *DirStore) Put(key string, val []byte) error {
 }
 
 // Get implements Store.
-func (s *DirStore) Get(key string) ([]byte, error) {
+func (s *DirStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if err := validKey(key); err != nil {
 		return nil, err
 	}
@@ -176,7 +228,10 @@ func (s *DirStore) Get(key string) ([]byte, error) {
 
 // GetRange implements RangeReader with one positioned read, so a fragment
 // fetch costs a pread instead of loading the whole variable file.
-func (s *DirStore) GetRange(key string, off, length int64) ([]byte, error) {
+func (s *DirStore) GetRange(ctx context.Context, key string, off, length int64) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if err := validKey(key); err != nil {
 		return nil, err
 	}
@@ -199,7 +254,10 @@ func (s *DirStore) GetRange(key string, off, length int64) ([]byte, error) {
 }
 
 // Keys implements Store.
-func (s *DirStore) Keys() ([]string, error) {
+func (s *DirStore) Keys(ctx context.Context) ([]string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	ents, err := os.ReadDir(s.root)
 	if err != nil {
 		return nil, err
@@ -223,64 +281,101 @@ var archiveMagic = []byte("PQARCH1\n")
 // per variable, all CRC-protected. It is ArchiveWriter driven in one call
 // over already-refactored variables; RefactorTo is the streaming form that
 // never holds the whole dataset in memory.
-func WriteArchive(st Store, name string, vars []*core.Variable) error {
+func WriteArchive(ctx context.Context, st Store, name string, vars []*core.Variable) error {
 	w, err := NewArchiveWriter(st, name)
 	if err != nil {
 		return err
 	}
 	for _, v := range vars {
-		if err := w.WriteVariable(v); err != nil {
+		if err := w.WriteVariable(ctx, v); err != nil {
 			return err
 		}
 	}
-	return w.Close()
+	return w.Close(ctx)
 }
 
 // ReadArchive reopens an archive written by WriteArchive.
-func ReadArchive(st Store, name string) ([]*core.Variable, error) {
-	mraw, err := st.Get(name + ".manifest")
+func ReadArchive(ctx context.Context, st Store, name string) ([]*core.Variable, error) {
+	vars, _, err := readArchive(ctx, st, name, false)
+	return vars, err
+}
+
+// ReadArchiveRanged reopens an archive like ReadArchive, but additionally
+// returns, for every variable, the byte ranges of its fragment payloads
+// within the raw store blob — and strips the payloads from the returned
+// variables. It is the meta-only open a range-reading consumer wants: one
+// pass over each blob up front, then any individual fragment re-readable
+// with RangeReader.GetRange at its recorded range. ranges[i][j] locates
+// fragment j of vars[i] inside the blob stored under VarKey(name,
+// vars[i].Name).
+func ReadArchiveRanged(ctx context.Context, st Store, name string) (vars []*core.Variable, ranges [][]FragmentRange, err error) {
+	return readArchive(ctx, st, name, true)
+}
+
+// readArchive walks the manifest and loads each variable blob; with ranged
+// set it also records fragment payload ranges and strips the payloads.
+func readArchive(ctx context.Context, st Store, name string, ranged bool) ([]*core.Variable, [][]FragmentRange, error) {
+	mraw, err := st.Get(ctx, name+".manifest")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	manifest, err := checkCRC(mraw)
 	if err != nil {
-		return nil, fmt.Errorf("storage: manifest: %w", err)
+		return nil, nil, fmt.Errorf("storage: manifest: %w", err)
 	}
 	if len(manifest) < len(archiveMagic)+4 || string(manifest[:len(archiveMagic)]) != string(archiveMagic) {
-		return nil, fmt.Errorf("%w: bad archive magic", encoding.ErrCorrupt)
+		return nil, nil, fmt.Errorf("%w: bad archive magic", encoding.ErrCorrupt)
 	}
 	off := len(archiveMagic)
 	n := int(binary.LittleEndian.Uint32(manifest[off:]))
 	off += 4
 	if n < 0 || n > 1<<16 {
-		return nil, fmt.Errorf("%w: %d variables", encoding.ErrCorrupt, n)
+		return nil, nil, fmt.Errorf("%w: %d variables", encoding.ErrCorrupt, n)
 	}
 	vars := make([]*core.Variable, n)
+	var ranges [][]FragmentRange
+	if ranged {
+		ranges = make([][]FragmentRange, n)
+	}
 	for i := 0; i < n; i++ {
 		nameB, m, err := encoding.GetSection(manifest[off:])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		off += m
 		key := VarKey(name, string(nameB))
-		raw, err := st.Get(key)
+		raw, err := st.Get(ctx, key)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		blob, err := checkCRC(raw)
 		if err != nil {
-			return nil, fmt.Errorf("storage: %s: %w", key, err)
+			return nil, nil, fmt.Errorf("storage: %s: %w", key, err)
 		}
 		v, err := unmarshalVariable(blob)
 		if err != nil {
-			return nil, fmt.Errorf("storage: %s: %w", key, err)
+			return nil, nil, fmt.Errorf("storage: %s: %w", key, err)
 		}
 		if v.Name != string(nameB) {
-			return nil, fmt.Errorf("%w: variable blob name %q != manifest %q", encoding.ErrCorrupt, v.Name, nameB)
+			return nil, nil, fmt.Errorf("%w: variable blob name %q != manifest %q", encoding.ErrCorrupt, v.Name, nameB)
+		}
+		if ranged {
+			fr, err := VariableFragmentRanges(raw)
+			if err != nil {
+				return nil, nil, fmt.Errorf("storage: %s: %w", key, err)
+			}
+			if len(fr) != len(v.Ref.Fragments) {
+				return nil, nil, fmt.Errorf("%w: %s: %d payload ranges for %d fragments",
+					encoding.ErrCorrupt, key, len(fr), len(v.Ref.Fragments))
+			}
+			ranges[i] = fr
+			for j := range v.Ref.Fragments {
+				v.Ref.Fragments[j] = nil
+			}
 		}
 		vars[i] = v
 	}
-	return vars, nil
+	return vars, ranges, nil
 }
 
 // VarKey returns the store key of one variable's blob within an archive,

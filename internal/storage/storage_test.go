@@ -27,23 +27,23 @@ func testVars(t *testing.T) ([]*core.Variable, *datagen.Dataset) {
 
 func TestMemStoreBasics(t *testing.T) {
 	s := NewMemStore()
-	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(context.Background(), "missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound, got %v", err)
 	}
-	if err := s.Put("a", []byte{1, 2}); err != nil {
+	if err := s.Put(context.Background(), "a", []byte{1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	v, err := s.Get("a")
+	v, err := s.Get(context.Background(), "a")
 	if err != nil || len(v) != 2 {
 		t.Fatalf("get: %v %v", v, err)
 	}
 	// Returned slice must be a copy.
 	v[0] = 99
-	v2, _ := s.Get("a")
+	v2, _ := s.Get(context.Background(), "a")
 	if v2[0] != 1 {
 		t.Fatal("MemStore leaked internal buffer")
 	}
-	keys, _ := s.Keys()
+	keys, _ := s.Keys(context.Background())
 	if len(keys) != 1 || keys[0] != "a" {
 		t.Fatalf("keys = %v", keys)
 	}
@@ -54,17 +54,17 @@ func TestDirStoreBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("block-1.var", []byte("hello")); err != nil {
+	if err := s.Put(context.Background(), "block-1.var", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := s.Get("block-1.var")
+	v, err := s.Get(context.Background(), "block-1.var")
 	if err != nil || string(v) != "hello" {
 		t.Fatalf("get: %q %v", v, err)
 	}
-	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(context.Background(), "missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound, got %v", err)
 	}
-	keys, err := s.Keys()
+	keys, err := s.Keys(context.Background())
 	if err != nil || len(keys) != 1 {
 		t.Fatalf("keys: %v %v", keys, err)
 	}
@@ -73,10 +73,10 @@ func TestDirStoreBasics(t *testing.T) {
 func TestDirStoreRejectsUnsafeKeys(t *testing.T) {
 	s, _ := NewDirStore(t.TempDir())
 	for _, key := range []string{"", "../evil", "a/b", ".hidden", "sp ace", string(make([]byte, 300))} {
-		if err := s.Put(key, []byte("x")); err == nil {
+		if err := s.Put(context.Background(), key, []byte("x")); err == nil {
 			t.Errorf("key %q accepted", key)
 		}
-		if _, err := s.Get(key); err == nil {
+		if _, err := s.Get(context.Background(), key); err == nil {
 			t.Errorf("get key %q accepted", key)
 		}
 	}
@@ -85,10 +85,10 @@ func TestDirStoreRejectsUnsafeKeys(t *testing.T) {
 func TestArchiveRoundTripMem(t *testing.T) {
 	vars, ds := testVars(t)
 	st := NewMemStore()
-	if err := WriteArchive(st, "ge", vars); err != nil {
+	if err := WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadArchive(st, "ge")
+	got, err := ReadArchive(context.Background(), st, "ge")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,10 +135,10 @@ func TestArchiveRoundTripDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteArchive(st, "ge", vars); err != nil {
+	if err := WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadArchive(st, "ge")
+	got, err := ReadArchive(context.Background(), st, "ge")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,29 +150,29 @@ func TestArchiveRoundTripDir(t *testing.T) {
 func TestArchiveDetectsCorruption(t *testing.T) {
 	vars, _ := testVars(t)
 	st := NewMemStore()
-	if err := WriteArchive(st, "ge", vars); err != nil {
+	if err := WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
 	// Flip one byte in a variable blob: the CRC must catch it.
 	key := "ge.Pressure.var"
-	blob, err := st.Get(key)
+	blob, err := st.Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	blob[len(blob)/2] ^= 0x40
-	if err := st.Put(key, blob); err != nil {
+	if err := st.Put(context.Background(), key, blob); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadArchive(st, "ge"); err == nil {
+	if _, err := ReadArchive(context.Background(), st, "ge"); err == nil {
 		t.Fatal("corruption not detected")
 	}
 	// Corrupt manifest too.
 	st2 := NewMemStore()
-	_ = WriteArchive(st2, "ge", vars)
-	m, _ := st2.Get("ge.manifest")
+	_ = WriteArchive(context.Background(), st2, "ge", vars)
+	m, _ := st2.Get(context.Background(), "ge.manifest")
 	m[3] ^= 0xff
-	_ = st2.Put("ge.manifest", m)
-	if _, err := ReadArchive(st2, "ge"); err == nil {
+	_ = st2.Put(context.Background(), "ge.manifest", m)
+	if _, err := ReadArchive(context.Background(), st2, "ge"); err == nil {
 		t.Fatal("manifest corruption not detected")
 	}
 }
@@ -180,20 +180,20 @@ func TestArchiveDetectsCorruption(t *testing.T) {
 func TestArchiveMissingVariableBlob(t *testing.T) {
 	vars, _ := testVars(t)
 	st := NewMemStore()
-	if err := WriteArchive(st, "ge", vars); err != nil {
+	if err := WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a lost object by re-creating the store without one blob.
 	st2 := NewMemStore()
-	keys, _ := st.Keys()
+	keys, _ := st.Keys(context.Background())
 	for _, k := range keys {
 		if k == "ge.Density.var" {
 			continue
 		}
-		v, _ := st.Get(k)
-		_ = st2.Put(k, v)
+		v, _ := st.Get(context.Background(), k)
+		_ = st2.Put(context.Background(), k, v)
 	}
-	if _, err := ReadArchive(st2, "ge"); !errors.Is(err, ErrNotFound) {
+	if _, err := ReadArchive(context.Background(), st2, "ge"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound, got %v", err)
 	}
 }
@@ -259,31 +259,31 @@ func TestGetRange(t *testing.T) {
 			if !ok {
 				t.Fatalf("%T does not implement RangeReader", s)
 			}
-			if err := s.Put("blob", []byte("0123456789")); err != nil {
+			if err := s.Put(context.Background(), "blob", []byte("0123456789")); err != nil {
 				t.Fatal(err)
 			}
-			got, err := rr.GetRange("blob", 3, 4)
+			got, err := rr.GetRange(context.Background(), "blob", 3, 4)
 			if err != nil || string(got) != "3456" {
 				t.Fatalf("GetRange = %q, %v", got, err)
 			}
-			if _, err := rr.GetRange("blob", 8, 4); err == nil {
+			if _, err := rr.GetRange(context.Background(), "blob", 8, 4); err == nil {
 				t.Fatal("read past end did not fail")
 			}
-			if _, err := rr.GetRange("blob", -1, 2); err == nil {
+			if _, err := rr.GetRange(context.Background(), "blob", -1, 2); err == nil {
 				t.Fatal("negative offset accepted")
 			}
-			if _, err := rr.GetRange("missing", 0, 1); !errors.Is(err, ErrNotFound) {
+			if _, err := rr.GetRange(context.Background(), "missing", 0, 1); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("missing key: want ErrNotFound, got %v", err)
 			}
 		})
 	}
 	// MemStore ranges must be copies, like Get.
-	got, err := mem.GetRange("blob", 0, 2)
+	got, err := mem.GetRange(context.Background(), "blob", 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got[0] = 'X'
-	again, _ := mem.GetRange("blob", 0, 2)
+	again, _ := mem.GetRange(context.Background(), "blob", 0, 2)
 	if again[0] != '0' {
 		t.Fatal("MemStore.GetRange leaked internal buffer")
 	}
@@ -292,11 +292,11 @@ func TestGetRange(t *testing.T) {
 func TestVariableFragmentRanges(t *testing.T) {
 	vars, _ := testVars(t)
 	st := NewMemStore()
-	if err := WriteArchive(st, "ge", vars); err != nil {
+	if err := WriteArchive(context.Background(), st, "ge", vars); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range vars {
-		raw, err := st.Get(VarKey("ge", v.Name))
+		raw, err := st.Get(context.Background(), VarKey("ge", v.Name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -319,7 +319,7 @@ func TestVariableFragmentRanges(t *testing.T) {
 		}
 	}
 	// Corruption must be caught by the frame CRC before any walking.
-	raw, _ := st.Get(VarKey("ge", vars[0].Name))
+	raw, _ := st.Get(context.Background(), VarKey("ge", vars[0].Name))
 	bad := append([]byte(nil), raw...)
 	bad[len(bad)/2] ^= 0xff
 	if _, err := VariableFragmentRanges(bad); err == nil {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 
 	"progqoi/internal/core"
@@ -38,7 +39,7 @@ func NewArchiveWriter(st Store, name string) (*ArchiveWriter, error) {
 
 // WriteVariable flushes one refactored variable to the store. Variables
 // appear in the manifest in write order; duplicate names are rejected.
-func (w *ArchiveWriter) WriteVariable(v *core.Variable) error {
+func (w *ArchiveWriter) WriteVariable(ctx context.Context, v *core.Variable) error {
 	if w.closed {
 		return fmt.Errorf("storage: archive %q already closed", w.name)
 	}
@@ -50,7 +51,7 @@ func (w *ArchiveWriter) WriteVariable(v *core.Variable) error {
 		return fmt.Errorf("storage: duplicate variable %q in archive %q", v.Name, w.name)
 	}
 	blob := withCRC(marshalVariable(v))
-	if err := w.st.Put(key, blob); err != nil {
+	if err := w.st.Put(ctx, key, blob); err != nil {
 		return err
 	}
 	w.seen[v.Name] = true
@@ -66,7 +67,7 @@ func (w *ArchiveWriter) StoredBytes() int64 { return w.bytes }
 
 // Close writes the manifest, committing the archive. Closing twice is an
 // error; a writer that is never closed publishes nothing.
-func (w *ArchiveWriter) Close() error {
+func (w *ArchiveWriter) Close(ctx context.Context) error {
 	if w.closed {
 		return fmt.Errorf("storage: archive %q already closed", w.name)
 	}
@@ -74,7 +75,7 @@ func (w *ArchiveWriter) Close() error {
 	manifest := append([]byte(nil), archiveMagic...)
 	manifest = appendU32(manifest, w.count)
 	manifest = append(manifest, w.sections...)
-	return w.st.Put(w.name+".manifest", withCRC(manifest))
+	return w.st.Put(ctx, w.name+".manifest", withCRC(manifest))
 }
 
 // FieldSource supplies the raw data of field i to RefactorTo, so inputs
@@ -90,7 +91,7 @@ type FieldSource func(i int) ([]float64, error)
 // mid-pack leaves the store readable. The resulting store contents are
 // byte-identical to the in-memory path. It returns the total variable-blob
 // bytes written.
-func RefactorTo(st Store, name string, names []string, dims []int, opt core.RefactorOptions, src FieldSource) (int64, error) {
+func RefactorTo(ctx context.Context, st Store, name string, names []string, dims []int, opt core.RefactorOptions, src FieldSource) (int64, error) {
 	w, err := NewArchiveWriter(st, name)
 	if err != nil {
 		return 0, err
@@ -104,11 +105,11 @@ func RefactorTo(st Store, name string, names []string, dims []int, opt core.Refa
 		if err != nil {
 			return w.StoredBytes(), err
 		}
-		if err := w.WriteVariable(vars[0]); err != nil {
+		if err := w.WriteVariable(ctx, vars[0]); err != nil {
 			return w.StoredBytes(), err
 		}
 	}
-	if err := w.Close(); err != nil {
+	if err := w.Close(ctx); err != nil {
 		return w.StoredBytes(), err
 	}
 	return w.StoredBytes(), nil

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"math"
@@ -30,13 +31,13 @@ func testFields(n, k int) ([]string, [][]float64) {
 
 func storeSnapshot(t *testing.T, st Store) map[string][]byte {
 	t.Helper()
-	keys, err := st.Keys()
+	keys, err := st.Keys(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := map[string][]byte{}
 	for _, k := range keys {
-		b, err := st.Get(k)
+		b, err := st.Get(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func TestRefactorToMatchesWriteArchive(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := NewMemStore()
-	if err := WriteArchive(ref, "ds", vars); err != nil {
+	if err := WriteArchive(context.Background(), ref, "ds", vars); err != nil {
 		t.Fatal(err)
 	}
 	want := storeSnapshot(t, ref)
@@ -75,7 +76,7 @@ func TestRefactorToMatchesWriteArchive(t *testing.T) {
 		sopt.Workers = workers
 		st := NewMemStore()
 		loads := 0
-		stored, err := RefactorTo(st, "ds", names, []int{4000}, sopt, func(i int) ([]float64, error) {
+		stored, err := RefactorTo(context.Background(), st, "ds", names, []int{4000}, sopt, func(i int) ([]float64, error) {
 			loads++
 			return fields[i], nil
 		})
@@ -98,7 +99,7 @@ func TestRefactorToMatchesWriteArchive(t *testing.T) {
 			}
 		}
 		// And it reopens identically.
-		rt, err := ReadArchive(st, "ds")
+		rt, err := ReadArchive(context.Background(), st, "ds")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,20 +125,20 @@ func TestArchiveWriterCommitPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.WriteVariable(vars[0]); err != nil {
+	if err := w.WriteVariable(context.Background(), vars[0]); err != nil {
 		t.Fatal(err)
 	}
 	// Simulated crash: variable blob flushed, manifest never written.
-	if _, err := ReadArchive(st, "torn"); !errors.Is(err, ErrNotFound) {
+	if _, err := ReadArchive(context.Background(), st, "torn"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("uncommitted archive readable: %v", err)
 	}
-	if err := w.WriteVariable(vars[1]); err != nil {
+	if err := w.WriteVariable(context.Background(), vars[1]); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Close(); err != nil {
+	if err := w.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadArchive(st, "torn")
+	got, err := ReadArchive(context.Background(), st, "torn")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,24 +165,24 @@ func TestArchiveWriterMisuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.WriteVariable(vars[0]); err != nil {
+	if err := w.WriteVariable(context.Background(), vars[0]); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.WriteVariable(vars[0]); err == nil {
+	if err := w.WriteVariable(context.Background(), vars[0]); err == nil {
 		t.Fatal("duplicate variable accepted")
 	}
 	bad := *vars[0]
 	bad.Name = "no/slash"
-	if err := w.WriteVariable(&bad); err == nil {
+	if err := w.WriteVariable(context.Background(), &bad); err == nil {
 		t.Fatal("invalid variable name accepted")
 	}
-	if err := w.Close(); err != nil {
+	if err := w.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Close(); err == nil {
+	if err := w.Close(context.Background()); err == nil {
 		t.Fatal("double Close accepted")
 	}
-	if err := w.WriteVariable(vars[0]); err == nil {
+	if err := w.WriteVariable(context.Background(), vars[0]); err == nil {
 		t.Fatal("write after Close accepted")
 	}
 }
@@ -192,7 +193,7 @@ func TestRefactorToSourceError(t *testing.T) {
 	names, fields := testFields(300, 2)
 	st := NewMemStore()
 	boom := errors.New("disk gone")
-	_, err := RefactorTo(st, "ds", names, []int{300}, core.RefactorOptions{
+	_, err := RefactorTo(context.Background(), st, "ds", names, []int{300}, core.RefactorOptions{
 		Progressive: progressive.Options{Method: progressive.PMGARDHB},
 	}, func(i int) ([]float64, error) {
 		if i == 1 {
@@ -203,7 +204,7 @@ func TestRefactorToSourceError(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("source error lost: %v", err)
 	}
-	if _, err := ReadArchive(st, "ds"); !errors.Is(err, ErrNotFound) {
+	if _, err := ReadArchive(context.Background(), st, "ds"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("aborted pack published a manifest: %v", err)
 	}
 }

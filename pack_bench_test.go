@@ -8,6 +8,7 @@ package progqoi
 // runner, mirroring the Advance gate on the retrieval side.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -31,7 +32,7 @@ func benchPack(b *testing.B, workers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := storage.WriteArchive(storage.NewMemStore(), "ge", vars); err != nil {
+		if err := storage.WriteArchive(context.Background(), storage.NewMemStore(), "ge", vars); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +61,7 @@ func BenchmarkStreamingPack(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := storage.RefactorTo(storage.NewMemStore(), "ge", ds.FieldNames, ds.Dims, opt,
+		_, err := storage.RefactorTo(context.Background(), storage.NewMemStore(), "ge", ds.FieldNames, ds.Dims, opt,
 			func(f int) ([]float64, error) { return ds.Fields[f], nil })
 		if err != nil {
 			b.Fatal(err)

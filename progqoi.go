@@ -36,11 +36,14 @@
 // # Remote retrieval
 //
 // The paper's headline scenario keeps the refactored fragments at a
-// storage site and pulls only the bytes each tolerance needs. Serve an
-// archive directory with the progqoid daemon (cmd/progqoid) and open it
-// over the wire:
+// storage site and pulls only the bytes each tolerance needs. [Open]
+// resolves any archive reference — the last path segment is always the
+// dataset:
 //
-//	archive, err := progqoi.OpenRemote(ctx, "http://storage-site:9123", "ge")
+//	archive, err := progqoi.Open(ctx, "/data/archives/ge")          // local directory
+//	archive, err = progqoi.Open(ctx, "http://storage-site:9123/ge") // progqoid fragment service
+//	archive, err = progqoi.Open(ctx, "s3://bucket/archives/ge",     // object store, ranged reads
+//	    progqoi.WithS3Endpoint("http://minio:9000"))
 //	sess, err := archive.Open()
 //	res, err := sess.Do(ctx, progqoi.Request{Targets: []progqoi.Target{
 //	    {QoI: vtot, Tolerance: 1e-4},
@@ -51,7 +54,10 @@
 // round trip per retrieval iteration, cached in a byte-bounded LRU shared
 // by all sessions of the archive, and coalesced across concurrent
 // sessions. Archive.RemoteStats reports actual wire bytes next to each
-// session's logical RetrievedBytes.
+// session's logical RetrievedBytes. An s3:// archive skips the daemon
+// entirely: sessions fetch exactly the fragment byte ranges they need
+// with authenticated ranged GETs, every read pinned to the object's ETag
+// (Archive.StoreStats reports the cold fetches that reached the bucket).
 //
 // The producer side scales too: Refactor parallelizes across variables
 // and bit planes under [WithRefactorWorkers] with bit-identical output,
@@ -189,14 +195,16 @@ func WithLosslessTail(on bool) Option { return func(o *options) { o.tail = on } 
 func WithRefactorWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
 // Archive is a set of refactored variables sharing one grid. A local
-// Archive comes from Refactor; a remote one from OpenRemote, in which case
-// sessions fetch fragment payloads over the wire as they need them.
+// Archive comes from Refactor or a file:// reference; Open's http(s) and
+// s3 schemes return archives whose sessions fetch fragment payloads over
+// the wire as they need them.
 type Archive struct {
 	vars   []*core.Variable
 	names  []string
 	dims   []int
 	fields int
 	remote *client.Remote
+	store  *storeArchive
 }
 
 // RemoteOption configures OpenRemote, in the same functional-options idiom
@@ -213,6 +221,10 @@ type remoteOptions struct {
 	endpoints   []string
 	replication int
 	discover    bool
+	s3Endpoint  string
+	s3Access    string
+	s3Secret    string
+	s3Region    string
 }
 
 // WithCache bounds the fragment LRU cache shared by all sessions of the
@@ -260,6 +272,28 @@ func WithPeerDiscovery() RemoteOption {
 	return func(o *remoteOptions) { o.discover = true }
 }
 
+// WithS3Endpoint sets the object-store base URL for s3:// references
+// opened with Open (overrides the PROGQOI_S3_ENDPOINT environment
+// variable). Ignored for other schemes.
+func WithS3Endpoint(endpoint string) RemoteOption {
+	return func(o *remoteOptions) { o.s3Endpoint = endpoint }
+}
+
+// WithS3Credentials sets the SigV4 signing credentials for s3://
+// references opened with Open (overrides PROGQOI_S3_ACCESS_KEY and
+// PROGQOI_S3_SECRET_KEY). Both empty sends unsigned requests. Ignored
+// for other schemes.
+func WithS3Credentials(accessKey, secretKey string) RemoteOption {
+	return func(o *remoteOptions) { o.s3Access, o.s3Secret = accessKey, secretKey }
+}
+
+// WithS3Region sets the SigV4 signing region for s3:// references opened
+// with Open (overrides PROGQOI_S3_REGION; default "us-east-1"). Ignored
+// for other schemes.
+func WithS3Region(region string) RemoteOption {
+	return func(o *remoteOptions) { o.s3Region = region }
+}
+
 // WithReadAhead pipelines the wire with the decoder: after each batched
 // fragment fetch, up to n further fragments per variable — the ones a
 // tightening iteration would request next — are fetched in the background
@@ -283,6 +317,9 @@ type RemoteStats = client.Stats
 // scoped by ctx — and sessions opened with Archive.Open then pull exactly
 // the fragments each tolerance needs, batched into one request per
 // retrieval iteration under each Do call's own context.
+//
+// Deprecated: use Open with an "http(s)://host[/base]/dataset" reference;
+// OpenRemote(ctx, base, ds, opts...) is Open(ctx, base+"/"+ds, opts...).
 func OpenRemote(ctx context.Context, baseURL, dataset string, opts ...RemoteOption) (*Archive, error) {
 	var ro remoteOptions
 	for _, fn := range opts {
@@ -290,28 +327,11 @@ func OpenRemote(ctx context.Context, baseURL, dataset string, opts ...RemoteOpti
 			fn(&ro)
 		}
 	}
-	rem, err := client.Open(ctx, baseURL, dataset, client.Options{
-		CacheBytes:    ro.cacheBytes,
-		MaxRetries:    ro.maxRetries,
-		ReadAhead:     ro.readAhead,
-		HTTPClient:    ro.httpClient,
-		Endpoints:     ro.endpoints,
-		Replication:   ro.replication,
-		DiscoverPeers: ro.discover,
-	})
-	if err != nil {
-		return nil, err
-	}
-	names := rem.FieldNames()
-	return &Archive{
-		names:  names,
-		dims:   rem.Dims(),
-		fields: len(names),
-		remote: rem,
-	}, nil
+	return openRemoteArchive(ctx, baseURL, dataset, ro)
 }
 
-// Remote reports whether the archive retrieves over the network.
+// Remote reports whether the archive retrieves from a progqoid fragment
+// service (see StoreBacked for archives reading an object store directly).
 func (a *Archive) Remote() bool { return a.remote != nil }
 
 // RemoteStats returns the wire accounting of a remote archive (zero for
@@ -363,10 +383,14 @@ func (a *Archive) FieldNames() []string { return append([]string(nil), a.names..
 func (a *Archive) Dims() []int { return append([]int(nil), a.dims...) }
 
 // StoredBytes returns the total fragment bytes across all variables (for
-// remote archives: the bytes held at the storage site, not yet fetched).
+// remote and store-backed archives: the bytes held at the storage site,
+// not yet fetched).
 func (a *Archive) StoredBytes() int64 {
 	if a.remote != nil {
 		return a.remote.StoredBytes()
+	}
+	if a.store != nil {
+		return a.store.stored
 	}
 	var n int64
 	for _, v := range a.vars {
@@ -464,9 +488,12 @@ func (a *Archive) Open(opts ...OpenOption) (*Session, error) {
 		rt  *core.Retriever
 		err error
 	)
-	if a.remote != nil {
+	switch {
+	case a.remote != nil:
 		rt, err = a.remote.NewSession(o.fetch, o.cfg)
-	} else {
+	case a.store != nil:
+		rt, err = a.store.newSession(o.fetch, o.cfg)
+	default:
 		rt, err = core.NewRetriever(a.vars, o.cfg, o.fetch)
 	}
 	if err != nil {

@@ -25,10 +25,10 @@ import (
 func serveArchiveHandler(t *testing.T, arch *Archive, name string) *server.Server {
 	t.Helper()
 	st := storage.NewMemStore()
-	if err := storage.WriteArchive(st, name, arch.Variables()); err != nil {
+	if err := storage.WriteArchive(context.Background(), st, name, arch.Variables()); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(st, server.Options{})
+	srv, err := server.New(context.Background(), st, server.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
