@@ -21,8 +21,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
@@ -168,33 +170,54 @@ func missingRequired(cur map[string]*samples, spec string, needMem bool) ([]stri
 	return missing, nil
 }
 
+// errGateFailed marks a measured regression (or missing requirement) as
+// opposed to a usage/IO error; main maps it to exit code 1, everything
+// else to 2 — the contract the CI job scripts rely on.
+var errGateFailed = errors.New("benchmark gate failed")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		if errors.Is(err, errGateFailed) {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	var (
-		current    = flag.String("current", "", "current benchmark output (text)")
-		baseline   = flag.String("baseline", "", "committed baseline (JSON)")
-		threshold  = flag.Float64("threshold", 0.10, "max allowed median ns/op regression (fraction)")
-		match      = flag.String("match", ".", "regexp of benchmark names the regression gate checks")
-		out        = flag.String("out", "", "write the current results as a JSON snapshot (artifact / next baseline)")
-		exportBase = flag.String("export-baseline", "", "write the baseline's lines, name-normalized, to this file (for benchstat)")
-		exportCur  = flag.String("export-current", "", "write the current lines, name-normalized, to this file (for benchstat)")
-		speedup    = flag.String("speedup", "", "required ratio, e.g. 'BenchmarkA/BenchmarkB>=2.0' (median A / median B)")
-		require    = flag.String("require", "", "comma-separated regexps; each must match at least one current benchmark")
-		requireMem = flag.String("require-mem", "", "comma-separated regexps; each must match a current benchmark carrying -benchmem columns")
-		benchtime  = flag.String("benchtime", "", "benchtime the current run used (recorded in -out, checked vs baseline)")
-		countFlag  = flag.Int("count", 0, "count the current run used (recorded in -out)")
-		noteFlag   = flag.String("note", "", "provenance note recorded in -out")
+		current    = fs.String("current", "", "current benchmark output (text)")
+		baseline   = fs.String("baseline", "", "committed baseline (JSON)")
+		threshold  = fs.Float64("threshold", 0.10, "max allowed median ns/op regression (fraction)")
+		match      = fs.String("match", ".", "regexp of benchmark names the regression gate checks")
+		out        = fs.String("out", "", "write the current results as a JSON snapshot (artifact / next baseline)")
+		exportBase = fs.String("export-baseline", "", "write the baseline's lines, name-normalized, to this file (for benchstat)")
+		exportCur  = fs.String("export-current", "", "write the current lines, name-normalized, to this file (for benchstat)")
+		speedup    = fs.String("speedup", "", "required ratio, e.g. 'BenchmarkA/BenchmarkB>=2.0' (median A / median B)")
+		require    = fs.String("require", "", "comma-separated regexps; each must match at least one current benchmark")
+		requireMem = fs.String("require-mem", "", "comma-separated regexps; each must match a current benchmark carrying -benchmem columns")
+		benchtime  = fs.String("benchtime", "", "benchtime the current run used (recorded in -out, checked vs baseline)")
+		countFlag  = fs.Int("count", 0, "count the current run used (recorded in -out)")
+		noteFlag   = fs.String("note", "", "provenance note recorded in -out")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 	if *current == "" {
-		fatal("benchgate: -current is required")
+		return errors.New("-current is required")
 	}
 	curLines, err := readLines(*current)
 	if err != nil {
-		fatal("benchgate: %v", err)
+		return err
 	}
 	cur := parse(curLines)
 	if len(cur) == 0 {
-		fatal("benchgate: no benchmark lines in %s", *current)
+		return fmt.Errorf("no benchmark lines in %s", *current)
 	}
 
 	failed := false
@@ -202,54 +225,57 @@ func main() {
 	if *require != "" {
 		missing, err := missingRequired(cur, *require, false)
 		if err != nil {
-			fatal("benchgate: %v", err)
+			return err
 		}
 		for _, pat := range missing {
-			fmt.Printf("REQUIRE %-52s no current benchmark matches\n", pat)
+			fmt.Fprintf(stdout, "REQUIRE %-52s no current benchmark matches\n", pat)
 			failed = true
 		}
 	}
 	if *requireMem != "" {
 		missing, err := missingRequired(cur, *requireMem, true)
 		if err != nil {
-			fatal("benchgate: %v", err)
+			return err
 		}
 		for _, pat := range missing {
-			fmt.Printf("REQUIRE-MEM %-48s no current benchmark with -benchmem columns matches\n", pat)
+			fmt.Fprintf(stdout, "REQUIRE-MEM %-48s no current benchmark with -benchmem columns matches\n", pat)
 			failed = true
 		}
 	}
 
 	if *exportCur != "" {
 		if err := writeBenchText(*exportCur, curLines); err != nil {
-			fatal("benchgate: %v", err)
+			return err
 		}
 	}
 
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
 		if err != nil {
-			fatal("benchgate: %v", err)
+			return err
 		}
 		var base Baseline
 		if err := json.Unmarshal(raw, &base); err != nil {
-			fatal("benchgate: parse %s: %v", *baseline, err)
+			return fmt.Errorf("parse %s: %w", *baseline, err)
 		}
 		if *benchtime != "" && base.Benchtime != "" && base.Benchtime != *benchtime {
-			fatal("benchgate: benchtime mismatch: baseline %q vs current %q", base.Benchtime, *benchtime)
+			return fmt.Errorf("benchtime mismatch: baseline %q vs current %q", base.Benchtime, *benchtime)
 		}
 		if *exportBase != "" {
 			if err := writeBenchText(*exportBase, base.Lines); err != nil {
-				fatal("benchgate: %v", err)
+				return err
 			}
 		}
 		advisory := base.CPUs != 0 && base.CPUs != runtime.NumCPU()
 		if advisory {
-			fmt.Printf("NOTE baseline recorded on %d-CPU hardware, gating machine has %d: regression check is advisory only.\n"+
+			fmt.Fprintf(stdout, "NOTE baseline recorded on %d-CPU hardware, gating machine has %d: regression check is advisory only.\n"+
 				"     Refresh the baseline on this runner class (bench-baseline job) to arm the gate.\n",
 				base.CPUs, runtime.NumCPU())
 		}
-		gate := regexp.MustCompile(*match)
+		gate, err := regexp.Compile(*match)
+		if err != nil {
+			return fmt.Errorf("bad -match pattern: %w", err)
+		}
 		baseRes := parse(base.Lines)
 		var names []string
 		for name := range baseRes {
@@ -263,7 +289,7 @@ func main() {
 			}
 			s, ok := cur[name]
 			if !ok {
-				fmt.Printf("GATE %-55s missing from current run\n", name)
+				fmt.Fprintf(stdout, "GATE %-55s missing from current run\n", name)
 				failed = true
 				continue
 			}
@@ -299,23 +325,23 @@ func main() {
 						failed = true
 					}
 				}
-				fmt.Printf("GATE %-55s %12.0f -> %12.0f %-9s  %+6.1f%%  %s\n", name, b, c, ck.unit, delta*100, verdict)
+				fmt.Fprintf(stdout, "GATE %-55s %12.0f -> %12.0f %-9s  %+6.1f%%  %s\n", name, b, c, ck.unit, delta*100, verdict)
 			}
 		}
 		if checked == 0 {
-			fatal("benchgate: no baseline benchmark matched %q", *match)
+			return fmt.Errorf("no baseline benchmark matched %q", *match)
 		}
 	}
 
 	if *speedup != "" {
 		m := speedupRe.FindStringSubmatch(*speedup)
 		if m == nil {
-			fatal("benchgate: bad -speedup %q (want 'BenchmarkA/BenchmarkB>=2.0')", *speedup)
+			return fmt.Errorf("bad -speedup %q (want 'BenchmarkA/BenchmarkB>=2.0')", *speedup)
 		}
 		num, den := cur[m[1]], cur[m[2]]
 		want, _ := strconv.ParseFloat(m[3], 64)
 		if num == nil || den == nil || len(num.ns) == 0 || len(den.ns) == 0 {
-			fatal("benchgate: -speedup needs both %s and %s in the current run", m[1], m[2])
+			return fmt.Errorf("-speedup needs both %s and %s in the current run", m[1], m[2])
 		}
 		got := median(num.ns) / median(den.ns)
 		verdict := "ok"
@@ -323,7 +349,7 @@ func main() {
 			verdict = "TOO SLOW"
 			failed = true
 		}
-		fmt.Printf("SPEEDUP %s/%s = %.2fx (want >= %.2fx, %d cores)  %s\n",
+		fmt.Fprintf(stdout, "SPEEDUP %s/%s = %.2fx (want >= %.2fx, %d cores)  %s\n",
 			m[1], m[2], got, want, runtime.NumCPU(), verdict)
 	}
 
@@ -342,19 +368,15 @@ func main() {
 		}
 		blob, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
-			fatal("benchgate: %v", err)
+			return err
 		}
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-			fatal("benchgate: %v", err)
+			return err
 		}
 	}
 
 	if failed {
-		os.Exit(1)
+		return errGateFailed
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(2)
+	return nil
 }

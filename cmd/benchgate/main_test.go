@@ -1,8 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -130,5 +137,176 @@ func TestMissingRequired(t *testing.T) {
 	missing, err = missingRequired(cur, "ShardFetchSingle", true)
 	if err != nil || len(missing) != 1 {
 		t.Fatalf("memless benchmark satisfied -require-mem: %v, err = %v", missing, err)
+	}
+}
+
+// writeGateFiles lays down a current-run text file and a baseline JSON
+// for run()-level tests; curNs/baseNs are the single-sample medians.
+func writeGateFiles(t *testing.T, dir string, baseCPUs int, baseNs, curNs float64) (current, baseline string) {
+	t.Helper()
+	current = filepath.Join(dir, "bench.txt")
+	cur := fmt.Sprintf("BenchmarkGateDemo-4 \t 10\t %.0f ns/op\nPASS\n", curNs)
+	if err := os.WriteFile(current, []byte(cur), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	baseline = filepath.Join(dir, "baseline.json")
+	base := Baseline{
+		Note:      "test",
+		Benchtime: "200ms",
+		CPUs:      baseCPUs,
+		Lines:     []string{fmt.Sprintf("BenchmarkGateDemo-8 \t 10\t %.0f ns/op", baseNs)},
+	}
+	blob, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, blob, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return current, baseline
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag: want error")
+	}
+	if err := run([]string{"-h"}, io.Discard); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if err := run(nil, &out); err == nil || !strings.Contains(err.Error(), "-current is required") {
+		t.Fatalf("missing -current: %v", err)
+	}
+	if err := run([]string{"-current", filepath.Join(t.TempDir(), "nope.txt")}, &out); err == nil {
+		t.Fatal("missing current file: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, []byte("goos: linux\nPASS\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-current", empty}, &out); err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("no benchmark lines: %v", err)
+	}
+}
+
+func TestRunRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	cur, base := writeGateFiles(t, dir, runtime.NumCPU(), 1000, 1050)
+	// +5% is inside the default 10% threshold.
+	var out strings.Builder
+	if err := run([]string{"-current", cur, "-baseline", base, "-benchtime", "200ms"}, &out); err != nil {
+		t.Fatalf("within threshold: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "GATE BenchmarkGateDemo") || !strings.Contains(out.String(), "ok") {
+		t.Fatalf("gate output: %q", out.String())
+	}
+
+	// +50% on matching hardware is a hard failure with exit-code-1 marking.
+	cur, base = writeGateFiles(t, dir, runtime.NumCPU(), 1000, 1500)
+	out.Reset()
+	err := run([]string{"-current", cur, "-baseline", base}, &out)
+	if !errors.Is(err, errGateFailed) {
+		t.Fatalf("regression: err = %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("gate output: %q", out.String())
+	}
+
+	// The same regression against a different CPU class is advisory.
+	cur, base = writeGateFiles(t, dir, runtime.NumCPU()+1, 1000, 1500)
+	out.Reset()
+	if err := run([]string{"-current", cur, "-baseline", base}, &out); err != nil {
+		t.Fatalf("advisory: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "advisory") {
+		t.Fatalf("gate output: %q", out.String())
+	}
+
+	// Benchtime mismatch refuses to compare at all.
+	cur, base = writeGateFiles(t, dir, runtime.NumCPU(), 1000, 1000)
+	if err := run([]string{"-current", cur, "-baseline", base, "-benchtime", "1s"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "benchtime mismatch") {
+		t.Fatalf("benchtime mismatch: %v", err)
+	}
+	// A -match that hits nothing in the baseline is a configuration error.
+	if err := run([]string{"-current", cur, "-baseline", base, "-match", "Nope"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "no baseline benchmark matched") {
+		t.Fatalf("unmatched -match: %v", err)
+	}
+	if err := run([]string{"-current", cur, "-baseline", base, "-match", "(["}, io.Discard); err == nil {
+		t.Fatal("bad -match regexp: want error")
+	}
+}
+
+func TestRunRequireAndSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	cur, _ := writeGateFiles(t, dir, 0, 0, 1000)
+	var out strings.Builder
+	err := run([]string{"-current", cur, "-require", "GateDemo,Vanished"}, &out)
+	if !errors.Is(err, errGateFailed) || !strings.Contains(out.String(), "REQUIRE") {
+		t.Fatalf("missing required benchmark: err=%v out=%q", err, out.String())
+	}
+	err = run([]string{"-current", cur, "-require-mem", "GateDemo"}, &out)
+	if !errors.Is(err, errGateFailed) {
+		t.Fatalf("memless benchmark satisfied -require-mem: %v", err)
+	}
+
+	two := filepath.Join(dir, "two.txt")
+	lines := "BenchmarkSeq-4 \t 10\t 2000 ns/op\nBenchmarkPar-4 \t 10\t 1000 ns/op\n"
+	if err := os.WriteFile(two, []byte(lines), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-current", two, "-speedup", "BenchmarkSeq/BenchmarkPar>=2.0"}, io.Discard); err != nil {
+		t.Fatalf("speedup met: %v", err)
+	}
+	err = run([]string{"-current", two, "-speedup", "BenchmarkSeq/BenchmarkPar>=3.0"}, &out)
+	if !errors.Is(err, errGateFailed) {
+		t.Fatalf("speedup unmet: %v", err)
+	}
+	if err := run([]string{"-current", two, "-speedup", "garbage"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "bad -speedup") {
+		t.Fatalf("bad -speedup: %v", err)
+	}
+	if err := run([]string{"-current", two, "-speedup", "BenchmarkSeq/BenchmarkGone>=2.0"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "needs both") {
+		t.Fatalf("speedup with missing benchmark: %v", err)
+	}
+}
+
+func TestRunSnapshotAndExports(t *testing.T) {
+	dir := t.TempDir()
+	cur, base := writeGateFiles(t, dir, runtime.NumCPU(), 1000, 1000)
+	snap := filepath.Join(dir, "snap.json")
+	expBase := filepath.Join(dir, "base.txt")
+	expCur := filepath.Join(dir, "cur.txt")
+	args := []string{
+		"-current", cur, "-baseline", base,
+		"-out", snap, "-export-baseline", expBase, "-export-current", expCur,
+		"-benchtime", "200ms", "-count", "5", "-note", "snapshot test",
+	}
+	if err := run(args, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Baseline
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "snapshot test" || got.Benchtime != "200ms" || got.Count != 5 ||
+		got.CPUs != runtime.NumCPU() || len(got.Lines) != 1 {
+		t.Fatalf("snapshot: %+v", got)
+	}
+	for _, p := range []string{expBase, expCur} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exports are normalized: the -N GOMAXPROCS suffix is stripped.
+		if !strings.Contains(string(b), "BenchmarkGateDemo \t") {
+			t.Fatalf("%s: %q", p, b)
+		}
 	}
 }

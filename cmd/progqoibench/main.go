@@ -1,0 +1,123 @@
+// Command progqoibench is the synthetic load driver for multi-tenant
+// progqoid clusters: it runs N concurrent retrieval sessions with mixed
+// QoI targets and tenant identities — against an in-process cluster it
+// starts itself, or against live endpoints — and reports per-tenant
+// throughput, latency quantiles (p50/p95/p99) and error counts as a
+// machine-readable JSON summary.
+//
+//	progqoibench -out summary.json                 # pinned in-process scenario
+//	progqoibench -scenario load.json -out sum.json # custom scenario
+//	progqoibench -slo SLO_pr9.json -out sum.json   # evaluate the SLO gate
+//	progqoibench -record-slo SLO_pr9.json          # re-record the SLO on this machine
+//
+// With -slo the summary is evaluated against the recorded service-level
+// objectives: failed sessions (or results diverging from the local
+// reference) fail the run on any machine, while p99 ceilings and the
+// interactive-vs-bulk fairness floor are hard only when the SLO file's
+// recorded CPU count matches this machine — the same arming convention
+// as cmd/benchgate, so a ceiling recorded on a laptop stays advisory on
+// CI until a runner-recorded file lands.
+//
+// The slo-gate CI job runs the pinned scenario against a 3-node
+// in-process cluster on every push; see .github/workflows/ci.yml.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"progqoi/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "progqoibench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("progqoibench", flag.ContinueOnError)
+	scenarioPath := fs.String("scenario", "", "scenario JSON (empty runs the pinned default scenario)")
+	endpoints := fs.String("endpoints", "", "comma-separated progqoid base URLs: drive a live cluster instead of an in-process one (disables bit-identity checks)")
+	out := fs.String("out", "", "write the JSON summary to this file (always printed to stdout)")
+	sloPath := fs.String("slo", "", "evaluate the summary against this SLO file; violations fail per its arming rules")
+	recordSLO := fs.String("record-slo", "", "write a new SLO file from this run's measurements (ceilings = 2x measured p99), armed for this machine's CPU class")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	sc := bench.DefaultScenario()
+	if *scenarioPath != "" {
+		var err error
+		if sc, err = bench.LoadScenario(*scenarioPath); err != nil {
+			return err
+		}
+	}
+	if *endpoints != "" {
+		sc.Endpoints = nil
+		for _, e := range strings.Split(*endpoints, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				sc.Endpoints = append(sc.Endpoints, strings.TrimRight(e, "/"))
+			}
+		}
+	}
+
+	sum, err := bench.Run(context.Background(), sc)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *recordSLO != "" {
+		slo := bench.RecordSLO(sum)
+		blob, err := json.MarshalIndent(slo, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*recordSLO, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "progqoibench: recorded SLO for %d CPUs to %s\n", slo.CPUs, *recordSLO)
+	}
+
+	if *sloPath == "" {
+		return nil
+	}
+	slo, err := bench.LoadSLO(*sloPath)
+	if err != nil {
+		return err
+	}
+	hard, perf := slo.Evaluate(sum)
+	for _, v := range perf {
+		if slo.Armed() {
+			fmt.Fprintln(os.Stderr, "progqoibench: SLO violation:", v)
+		} else {
+			fmt.Fprintf(os.Stderr, "progqoibench: advisory (SLO recorded on %d CPUs, this machine has a different class): %s\n", slo.CPUs, v)
+		}
+	}
+	for _, v := range hard {
+		fmt.Fprintln(os.Stderr, "progqoibench: SLO violation:", v)
+	}
+	if len(hard) > 0 || (slo.Armed() && len(perf) > 0) {
+		return fmt.Errorf("%d SLO violation(s)", len(hard)+len(perf))
+	}
+	fmt.Fprintln(os.Stderr, "progqoibench: SLO satisfied")
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"progqoi/internal/bench"
+	"progqoi/internal/server"
+)
+
+// stdoutFile gives run a real *os.File to print summaries to, and a way
+// to read back what it printed.
+func stdoutFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	out := stdoutFile(t)
+	if err := run([]string{"-no-such-flag"}, out); err == nil {
+		t.Fatal("unknown flag: want error")
+	}
+	// -h prints usage and is not a failure.
+	if err := run([]string{"-h"}, out); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if err := run([]string{"-scenario", filepath.Join(t.TempDir(), "missing.json")}, out); err == nil {
+		t.Fatal("missing scenario file: want error")
+	}
+}
+
+// tinyScenarioFile writes a one-node, one-tenant scenario small enough
+// to run end to end in a test.
+func tinyScenarioFile(t *testing.T) string {
+	t.Helper()
+	sc := bench.Scenario{
+		Name:      "progqoibench-test",
+		Dataset:   "bench-cli",
+		Blocks:    2,
+		BlockSize: 96,
+		Seed:      5,
+		Nodes:     1,
+		Tenants: []bench.TenantLoad{{
+			Tenant:    server.Tenant{Name: "cli-tenant", Token: "cli-tenant-token", RateLimit: 10000},
+			Sessions:  1,
+			Requests:  2,
+			Tolerance: 2e-3,
+		}},
+	}
+	blob, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, blob, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRecordAndEvaluateSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real in-process scenario")
+	}
+	dir := t.TempDir()
+	sumPath := filepath.Join(dir, "summary.json")
+	sloPath := filepath.Join(dir, "slo.json")
+	args := []string{
+		"-scenario", tinyScenarioFile(t),
+		"-out", sumPath,
+		"-record-slo", sloPath,
+		// Evaluating the file recorded by this same run must pass: the
+		// ceilings are 2x what was just measured, armed for this machine.
+		"-slo", sloPath,
+	}
+	if err := run(args, stdoutFile(t)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sum bench.Summary
+	blob, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &sum); err != nil {
+		t.Fatalf("-out summary: %v", err)
+	}
+	if sum.Scenario != "progqoibench-test" || len(sum.Tenants) != 1 || sum.Tenants[0].FailedSessions != 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	slo, err := bench.LoadSLO(sloPath)
+	if err != nil {
+		t.Fatalf("-record-slo output: %v", err)
+	}
+	if !slo.Armed() {
+		t.Fatal("recorded SLO must be armed on the recording machine")
+	}
+	if _, ok := slo.P99CeilingSeconds["cli-tenant"]; !ok {
+		t.Fatalf("recorded SLO lacks the tenant ceiling: %+v", slo)
+	}
+}
+
+func TestRunSLOGateFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real in-process scenario")
+	}
+	// An impossible ceiling must fail the gate when armed for this CPU
+	// class (zero is not possible: every Do takes time).
+	slo := bench.RecordSLO(&bench.Summary{CPUs: runtime.NumCPU(), Tenants: []bench.TenantSummary{{Name: "cli-tenant"}}})
+	slo.P99CeilingSeconds["cli-tenant"] = 0.0000001
+	blob, err := json.Marshal(slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sloPath := filepath.Join(t.TempDir(), "slo.json")
+	if err := os.WriteFile(sloPath, blob, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-scenario", tinyScenarioFile(t), "-slo", sloPath}, stdoutFile(t))
+	if err == nil {
+		t.Fatal("armed impossible ceiling: want SLO violation error")
+	}
+}
+
+func TestRunEndpointsMode(t *testing.T) {
+	// A dead remote: sessions fail, which the summary records; without
+	// -slo that is not a process failure (the gate is opt-in).
+	hs := httptest.NewServer(http.NotFoundHandler())
+	defer hs.Close()
+	args := []string{
+		"-scenario", tinyScenarioFile(t),
+		// Exercises the endpoint list parsing: whitespace, trailing
+		// slashes and empty entries are cleaned up.
+		"-endpoints", " " + hs.URL + "/ ,," + hs.URL,
+	}
+	if err := run(args, stdoutFile(t)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -44,6 +44,15 @@
 // to re-scan the directory and atomically swap the serving catalog;
 // sessions already retrieving keep working throughout.
 //
+// -tenants CONFIG.json turns on multi-tenant serving: every data-plane
+// request must carry a tenant bearer token, and each tenant gets its own
+// rate limit, in-flight cap and priority class ("interactive" requests
+// are admitted ahead of "bulk" whenever serving slots are contended).
+// Over-limit requests get 429 + Retry-After; a full admission queue
+// sheds with 503. Like the S3 credentials, tokens live in a file, never
+// argv. -max-queue bounds the admission queue (waiting requests per
+// serving slot). See ARCHITECTURE.md "Multi-tenant serving & QoS".
+//
 // Routes, formats and caching behaviour are documented in
 // progqoi/internal/server and in FORMATS.md at the repository root. Stop
 // with SIGINT/SIGTERM; in-flight requests drain before exit.
@@ -51,7 +60,6 @@ package main
 
 import (
 	"context"
-	"crypto/subtle"
 	"errors"
 	"flag"
 	"fmt"
@@ -146,19 +154,15 @@ func newServer(ctx context.Context, ref string, limit int, logRequests bool) (*s
 	return newClusterServer(ctx, ref, limit, 0, "", nil, "", logRequests, nil)
 }
 
+// newClusterServer resolves the store reference and builds the service —
+// the catalog scan inside server.New is also the startup probe: an
+// unreachable or denying object store surfaces here as a clean startup
+// error instead of a half-alive daemon.
 func newClusterServer(ctx context.Context, ref string, limit int, cacheBytes int64, advertise string, peers []string, adminToken string, logRequests bool, lg *slog.Logger) (*server.Server, error) {
 	st, err := resolveDaemonStore(ref, "", "")
 	if err != nil {
 		return nil, err
 	}
-	return serveStore(ctx, st, limit, cacheBytes, advertise, peers, adminToken, logRequests, lg)
-}
-
-// serveStore builds the fragment service over an already-resolved store —
-// the catalog scan inside server.New is also the startup probe: an
-// unreachable or denying object store surfaces here as a clean startup
-// error instead of a half-alive daemon.
-func serveStore(ctx context.Context, st storage.Store, limit int, cacheBytes int64, advertise string, peers []string, adminToken string, logRequests bool, lg *slog.Logger) (*server.Server, error) {
 	return server.New(ctx, st, server.Options{
 		MaxInflight:   limit,
 		HotCacheBytes: cacheBytes,
@@ -181,14 +185,13 @@ func withPprof(next http.Handler, token string) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	want := []byte("Bearer " + token)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
 			next.ServeHTTP(w, r)
 			return
 		}
-		got := []byte(r.Header.Get("Authorization"))
-		if len(got) != len(want) || subtle.ConstantTimeCompare(got, want) != 1 {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || !server.TokenEqual(got, token) {
 			http.Error(w, "unauthorized", http.StatusUnauthorized)
 			return
 		}
@@ -208,6 +211,8 @@ func run(args []string) error {
 	advertise := fs.String("advertise", "", "this node's public base URL, reported at /v1/cluster")
 	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster nodes, reported at /v1/cluster")
 	admin := fs.String("admin", "", "admin token enabling hot publish via POST /v1/datasets/reload (empty disables)")
+	tenantsPath := fs.String("tenants", "", "JSON tenant config enabling multi-tenant auth + QoS (empty serves anonymously); see ARCHITECTURE.md")
+	maxQueue := fs.Int("max-queue", 0, "admission queue bound in waiting requests per serving slot (0 = default "+fmt.Sprint(server.DefaultMaxQueue)+", negative disables queueing)")
 	verbose := fs.Bool("v", false, "log every request")
 	logFormat := fs.String("log-format", "text", "log record format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -244,11 +249,27 @@ func run(args []string) error {
 			return fmt.Errorf("-advertise: %w", err)
 		}
 	}
+	var tenants []server.Tenant
+	if *tenantsPath != "" {
+		if tenants, err = server.LoadTenants(*tenantsPath); err != nil {
+			return fmt.Errorf("-tenants: %w", err)
+		}
+	}
 	st, err := resolveDaemonStore(storeRef, *storeEndpoint, *storeRegion)
 	if err != nil {
 		return err
 	}
-	srv, err := serveStore(context.Background(), st, *limit, *cache, *advertise, peerURLs, *admin, *verbose, lg)
+	srv, err := server.New(context.Background(), st, server.Options{
+		MaxInflight:   *limit,
+		MaxQueue:      *maxQueue,
+		HotCacheBytes: *cache,
+		Advertise:     *advertise,
+		Peers:         peerURLs,
+		AdminToken:    *admin,
+		Tenants:       tenants,
+		LogRequests:   *verbose,
+		Log:           lg,
+	})
 	if err != nil {
 		return fmt.Errorf("store %s: %w", storeRef, err)
 	}
@@ -264,6 +285,7 @@ func run(args []string) error {
 		slog.Int("limit", *limit),
 		slog.Int("peers", len(peerURLs)),
 		slog.Bool("hot_publish", *admin != ""),
+		slog.Int("tenants", len(tenants)),
 		slog.Bool("pprof", *pprofOn))
 
 	handler := http.Handler(srv)

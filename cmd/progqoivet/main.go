@@ -16,6 +16,7 @@
 //	errwrapcheck sentinels matched with errors.Is and wrapped with %w (PR 2 ErrBadRequest contract)
 //	flagmode     flag.NewFlagSet always uses ContinueOnError (the twice-fixed PR 4/5 bug)
 //	slogonly     the serving path logs through log/slog only (PR 6 structured logging)
+//	tokencmp     bearer tokens compared only via server.TokenEqual (PR 9 token audit)
 //
 // A finding can be suppressed — with a mandatory reason — by the
 // directive described in internal/analysis/analysisutil:
@@ -31,6 +32,7 @@ import (
 	"progqoi/internal/analysis/flagmode"
 	"progqoi/internal/analysis/lockguard"
 	"progqoi/internal/analysis/slogonly"
+	"progqoi/internal/analysis/tokencmp"
 	"progqoi/internal/analysis/traceguard"
 )
 
@@ -42,5 +44,6 @@ func main() {
 		errwrapcheck.Analyzer,
 		flagmode.Analyzer,
 		slogonly.Analyzer,
+		tokencmp.Analyzer,
 	)
 }

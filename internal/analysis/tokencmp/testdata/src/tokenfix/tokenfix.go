@@ -1,0 +1,44 @@
+// Package tokenfix exercises the tokencmp analyzer: raw comparisons of
+// bearer secrets and direct subtle.ConstantTimeCompare calls.
+package tokenfix
+
+import "crypto/subtle"
+
+type tenant struct {
+	Token string
+	Name  string
+}
+
+// bad is the shape the PR 9 audit removed: a short-circuiting string
+// compare on a presented credential.
+func bad(presented string, t tenant) bool {
+	return presented == t.Token // want `server\.TokenEqual`
+}
+
+func alsoBad(presented string) bool {
+	adminToken := "hunter2hunter2"
+	return presented != adminToken // want `server\.TokenEqual`
+}
+
+func secretish(apiKey, other string) bool {
+	return other == apiKey // want `server\.TokenEqual`
+}
+
+func directCompare(a, b string) bool {
+	return subtle.ConstantTimeCompare([]byte(a), []byte(b)) == 1 // want `ConstantTimeCompare`
+}
+
+// presence checks against the empty literal are not verifications.
+func good(t tenant) bool {
+	return t.Token != "" && "" != t.Token
+}
+
+// names that do not look secret-bearing are out of scope.
+func goodName(a, b string) bool {
+	return a == b
+}
+
+func suppressed(a, b string) bool {
+	//progqoivet:allow tokencmp -- fixture: documents the escape hatch
+	return subtle.ConstantTimeCompare([]byte(a), []byte(b)) == 1
+}

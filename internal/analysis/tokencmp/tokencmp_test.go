@@ -1,0 +1,12 @@
+package tokencmp_test
+
+import (
+	"testing"
+
+	"progqoi/internal/analysis/analyzertest"
+	"progqoi/internal/analysis/tokencmp"
+)
+
+func TestTokencmp(t *testing.T) {
+	analyzertest.Run(t, tokencmp.Analyzer, "tokenfix")
+}

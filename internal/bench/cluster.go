@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"progqoi"
+	"progqoi/internal/datagen"
+	"progqoi/internal/server"
+	"progqoi/internal/storage"
+)
+
+// Cluster is an in-process progqoid cluster serving one synthetic
+// archive: N real server.Server instances behind loopback listeners,
+// sharing one in-memory store, configured with the scenario's tenants.
+type Cluster struct {
+	// Endpoints are the nodes' base URLs.
+	Endpoints []string
+	// Archive is the locally refactored archive the cluster serves — the
+	// bit-identity reference.
+	Archive *progqoi.Archive
+	// Fields are the dataset's variable names.
+	Fields []string
+
+	servers   []*server.Server
+	listeners []*http.Server
+}
+
+// StartCluster refactors the scenario's synthetic dataset once and serves
+// it from sc.Nodes independent nodes, every node enforcing the scenario's
+// tenant set. Callers own the cluster and must Close it.
+func StartCluster(ctx context.Context, sc Scenario) (*Cluster, error) {
+	nodes := sc.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	ds := datagen.GE(sc.Dataset, sc.Blocks, sc.BlockSize, sc.Seed)
+	arch, err := progqoi.Refactor(ds.FieldNames, ds.Fields, ds.Dims)
+	if err != nil {
+		return nil, err
+	}
+	st := storage.NewMemStore()
+	if err := storage.WriteArchive(ctx, st, sc.Dataset, arch.Variables()); err != nil {
+		return nil, err
+	}
+	tenants := make([]server.Tenant, len(sc.Tenants))
+	for i, tl := range sc.Tenants {
+		tenants[i] = tl.Tenant
+	}
+	cl := &Cluster{Archive: arch, Fields: ds.FieldNames}
+	for i := 0; i < nodes; i++ {
+		srv, err := server.New(ctx, st, server.Options{
+			MaxInflight: sc.MaxInflight,
+			MaxQueue:    sc.MaxQueue,
+			Tenants:     tenants,
+		})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+		go hs.Serve(ln) //nolint:errcheck // closed by Cluster.Close
+		cl.servers = append(cl.servers, srv)
+		cl.listeners = append(cl.listeners, hs)
+		cl.Endpoints = append(cl.Endpoints, "http://"+ln.Addr().String())
+	}
+	return cl, nil
+}
+
+// Close shuts the cluster's listeners down.
+func (c *Cluster) Close() {
+	for _, hs := range c.listeners {
+		hs.Close() //nolint:errcheck
+	}
+}
+
+// Stats snapshots node i's serving counters.
+func (c *Cluster) Stats(i int) server.Stats { return c.servers[i].Stats() }
+
+// Metrics fetches node i's Prometheus text exposition over the wire —
+// the same bytes an operator's scraper would see, so callers can push
+// them through the strict obs.ParseExposition parser.
+func (c *Cluster) Metrics(ctx context.Context, i int) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.Endpoints[i]+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("bench: metrics node %d: %s", i, resp.Status)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+
+	"progqoi/internal/server"
+)
+
+// SLO pins the latency and correctness envelope a Summary must satisfy —
+// the contract the slo-gate CI job enforces. Like the benchmark
+// baselines, an SLO file records the CPU count of the machine that set
+// its ceilings: latency ceilings are only meaningfully comparable on the
+// same hardware class, so the perf gates arm (hard-fail) exactly when
+// the recorded CPUs match the evaluating runner and stay advisory
+// otherwise. Correctness gates — zero failed sessions, bit-identical
+// results (a divergence fails the session) — are armed unconditionally.
+type SLO struct {
+	// Note is free-form provenance (where the ceilings were recorded).
+	Note string `json:"note"`
+	// CPUs is runtime.NumCPU() on the machine that recorded the
+	// ceilings; the perf gates are hard only when it matches.
+	CPUs int `json:"cpus"`
+	// P99CeilingSeconds caps each tenant's p99 Do latency, keyed by
+	// tenant name. Tenants without an entry are not latency-gated.
+	P99CeilingSeconds map[string]float64 `json:"p99CeilingSeconds"`
+	// FairnessP99Ratio caps every interactive tenant's p99 at this
+	// multiple of the slowest bulk tenant's p99 — the "bulk never
+	// starves interactive" floor. Zero disables the check.
+	FairnessP99Ratio float64 `json:"fairnessP99Ratio"`
+}
+
+// LoadSLO reads an SLO file, rejecting unknown fields.
+func LoadSLO(path string) (SLO, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return SLO{}, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s SLO
+	if err := dec.Decode(&s); err != nil {
+		return SLO{}, fmt.Errorf("bench: slo %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Armed reports whether the perf gates are hard on this machine.
+func (s SLO) Armed() bool { return s.CPUs == runtime.NumCPU() }
+
+// RecordSLO derives a fresh SLO from one run's measurements: each
+// tenant's p99 ceiling is twice its measured p99 (headroom for run-to-run
+// noise without letting a real regression hide), rounded up to 10ms,
+// armed for this machine's CPU class. The fairness floor keeps the
+// standard 1.5x ratio — it is a design invariant of the two-class queue,
+// not a hardware measurement.
+func RecordSLO(sum *Summary) SLO {
+	ceil := map[string]float64{}
+	for _, t := range sum.Tenants {
+		c := math.Ceil(t.P99*2*100) / 100
+		if c < 0.05 {
+			c = 0.05
+		}
+		ceil[t.Name] = c
+	}
+	return SLO{
+		Note: fmt.Sprintf("recorded by progqoibench -record-slo from scenario %q on a %d-CPU machine; "+
+			"ceilings are 2x the measured p99. Zero failed sessions and bit-identical results are enforced unconditionally.",
+			sum.Scenario, sum.CPUs),
+		CPUs:              sum.CPUs,
+		P99CeilingSeconds: ceil,
+		FairnessP99Ratio:  1.5,
+	}
+}
+
+// Evaluate checks sum against the SLO. hard violations fail the gate on
+// any machine (correctness: failed sessions); perf violations (p99
+// ceilings, fairness floor) fail only when Armed and are advisory
+// otherwise.
+func (s SLO) Evaluate(sum *Summary) (hard, perf []string) {
+	var slowestBulkP99 float64
+	for _, t := range sum.Tenants {
+		if t.FailedSessions > 0 {
+			msg := fmt.Sprintf("tenant %s: %d of %d sessions failed", t.Name, t.FailedSessions, t.Sessions)
+			if len(t.Errors) > 0 {
+				msg += " (first: " + t.Errors[0] + ")"
+			}
+			hard = append(hard, msg)
+		}
+		if t.Requests == 0 && t.Sessions > 0 {
+			hard = append(hard, fmt.Sprintf("tenant %s: no requests completed", t.Name))
+		}
+		if ceil, ok := s.P99CeilingSeconds[t.Name]; ok && t.P99 > ceil {
+			perf = append(perf, fmt.Sprintf("tenant %s: p99 %.3fs over ceiling %.3fs", t.Name, t.P99, ceil))
+		}
+		if t.Class == server.ClassBulk && t.P99 > slowestBulkP99 {
+			slowestBulkP99 = t.P99
+		}
+	}
+	if s.FairnessP99Ratio > 0 && slowestBulkP99 > 0 {
+		floor := s.FairnessP99Ratio * slowestBulkP99
+		for _, t := range sum.Tenants {
+			if t.RateLimited > 0 {
+				// A throttled tenant's latency is its own rate limiter
+				// working (Retry-After waits), not bulk starvation; it is
+				// still covered by its absolute p99 ceiling.
+				continue
+			}
+			if t.Class != server.ClassBulk && t.P99 > floor {
+				perf = append(perf, fmt.Sprintf(
+					"fairness: interactive tenant %s p99 %.3fs exceeds %.2fx slowest bulk p99 (%.3fs): bulk load is starving interactive",
+					t.Name, t.P99, s.FairnessP99Ratio, slowestBulkP99))
+			}
+		}
+	}
+	return hard, perf
+}

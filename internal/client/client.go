@@ -80,6 +80,10 @@ type Options struct {
 	// pointed at one node of a static cluster finds the rest. Discovery
 	// is best-effort: nodes without the route are treated as solo.
 	DiscoverPeers bool
+	// Token is a tenant bearer token sent as "Authorization: Bearer …" on
+	// every request. Required against a multi-tenant server (one started
+	// with -tenants); ignored by anonymous servers. Empty sends no header.
+	Token string
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +150,10 @@ type Stats struct {
 	// client to sleep and spend retry budget. Zero on a healthy cluster
 	// no matter how much plain (free) failover happened.
 	RetryPasses int64
+	// RateLimited counts 429 responses received. Each one failed over or
+	// retried after honoring the server's Retry-After; none tripped a
+	// circuit breaker — being throttled proves the node alive.
+	RateLimited int64
 	// CacheBytes / CacheEntries / CacheEvictions describe the LRU.
 	CacheBytes     int64
 	CacheEntries   int
@@ -187,6 +195,7 @@ type Client struct {
 	speculated   atomic.Int64
 	failovers    atomic.Int64
 	retryPasses  atomic.Int64
+	rateLimited  atomic.Int64
 }
 
 // New returns a client for the service at baseURL (e.g.
@@ -242,6 +251,7 @@ func (c *Client) Stats() Stats {
 		Speculated:       c.speculated.Load(),
 		Failovers:        c.failovers.Load(),
 		RetryPasses:      c.retryPasses.Load(),
+		RateLimited:      c.rateLimited.Load(),
 		CacheBytes:       cb,
 		CacheEntries:     ce,
 		CacheEvictions:   ev,
@@ -254,15 +264,47 @@ func (c *Client) Stats() Stats {
 	return st
 }
 
-// HTTPError reports a non-retryable HTTP failure status.
+// Sentinel errors for auth and throttling outcomes, matched by
+// errors.Is through *HTTPError so callers branch on what happened
+// without parsing status codes out of error strings.
+var (
+	// ErrUnauthorized is a 401: the request carried no tenant token, or
+	// one the server does not know. Not retried — a bad credential does
+	// not get better on another replica.
+	ErrUnauthorized = errors.New("client: unauthorized")
+	// ErrForbidden is a 403: the token is known but not allowed here.
+	ErrForbidden = errors.New("client: forbidden")
+	// ErrRateLimited is a 429 that survived the whole retry budget: every
+	// replica throttled the tenant even after honoring Retry-After.
+	ErrRateLimited = errors.New("client: rate limited")
+)
+
+// HTTPError reports an HTTP failure status that reached the caller.
 type HTTPError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's parsed Retry-After hint (zero when the
+	// response carried none).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *HTTPError) Error() string {
 	return fmt.Sprintf("http %d: %s", e.Status, strings.TrimSpace(e.Msg))
+}
+
+// Is maps status codes onto the package's sentinel errors, so
+// errors.Is(err, ErrRateLimited) works on any wrapped *HTTPError.
+func (e *HTTPError) Is(target error) bool {
+	switch target {
+	case ErrUnauthorized:
+		return e.Status == http.StatusUnauthorized
+	case ErrForbidden:
+		return e.Status == http.StatusForbidden
+	case ErrRateLimited:
+		return e.Status == http.StatusTooManyRequests
+	}
+	return false
 }
 
 // do issues one request with bounded retry/backoff and replica failover.

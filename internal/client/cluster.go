@@ -219,10 +219,31 @@ func (c *Client) candidates(key string) []*endpoint {
 	return out
 }
 
+// parseRetryAfter reads a Retry-After header value: integer seconds (the
+// only form our server emits) or an HTTP date. Zero when absent or
+// unparseable — the caller falls back to its own backoff.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // attempt issues exactly one HTTP request to one endpoint, classifying
 // the outcome: retryable failures (connection errors, truncated bodies,
-// 5xx) feed the breaker and may fail over; anything else is final.
-func (c *Client) attempt(ctx context.Context, ep *endpoint, method, path string, body []byte, contentType string) (data []byte, err error, retryable bool) {
+// 5xx, 429) may fail over; of those, only genuine health failures feed
+// the breaker — a 429 proves the node alive and merely throttling this
+// tenant. retryAfter carries the server's Retry-After hint on throttled
+// and shed responses so pass-level backoff can honor it.
+func (c *Client) attempt(ctx context.Context, ep *endpoint, method, path string, body []byte, contentType string) (data []byte, err error, retryable bool, retryAfter time.Duration) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -230,10 +251,13 @@ func (c *Client) attempt(ctx context.Context, ep *endpoint, method, path string,
 	req, err := http.NewRequestWithContext(ctx, method, ep.base+path, rd)
 	if err != nil {
 		ep.abortProbe()
-		return nil, err, false
+		return nil, err, false, 0
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if c.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.Token)
 	}
 	if rid := obs.RequestIDFrom(ctx); rid != "" {
 		// The retrieval's request ID rides every HTTP attempt, so server
@@ -258,35 +282,46 @@ func (c *Client) attempt(ctx context.Context, ep *endpoint, method, path string,
 			// transport's wrapping of the aborted socket — and give back
 			// the probe slot if this request was one.
 			ep.abortProbe()
-			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err()), false
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err()), false, 0
 		}
 		ep.errors.Add(1)
 		ep.report(false, c.opts.BreakerCooldown)
-		return nil, fmt.Errorf("client: %s %s via %s: %w", method, path, ep.base, err), true
+		return nil, fmt.Errorf("client: %s %s via %s: %w", method, path, ep.base, err), true, 0
 	}
 	data, rerr := io.ReadAll(resp.Body)
 	nread = int64(len(data))
 	resp.Body.Close() //nolint:errcheck
 	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Throttled, not broken: the node is healthy and enforcing this
+		// tenant's budget, so the breaker stays closed. Another replica
+		// has its own bucket — fail over immediately; if every candidate
+		// throttles, the pass backoff honors the largest Retry-After.
+		ep.report(true, 0)
+		c.rateLimited.Add(1)
+		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
+		return nil, fmt.Errorf("client: %s %s via %s: %w", method, path, ep.base,
+			&HTTPError{Status: resp.StatusCode, Msg: string(data), RetryAfter: ra}), true, ra
 	case resp.StatusCode >= 500:
 		ep.errors.Add(1)
 		ep.report(false, c.opts.BreakerCooldown)
 		return nil, fmt.Errorf("client: %s %s via %s: %s: %s",
-			method, path, ep.base, resp.Status, strings.TrimSpace(string(data))), true
+				method, path, ep.base, resp.Status, strings.TrimSpace(string(data))), true,
+			parseRetryAfter(resp.Header.Get("Retry-After"))
 	case resp.StatusCode != http.StatusOK:
 		ep.report(true, 0)
-		return nil, fmt.Errorf("client: %s %s: %w", method, path, &HTTPError{Status: resp.StatusCode, Msg: string(data)}), false
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, &HTTPError{Status: resp.StatusCode, Msg: string(data)}), false, 0
 	case rerr != nil:
 		if ctx.Err() != nil {
 			ep.abortProbe()
-			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err()), false
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err()), false, 0
 		}
 		ep.errors.Add(1)
 		ep.report(false, c.opts.BreakerCooldown)
-		return nil, fmt.Errorf("client: %s %s via %s: truncated body: %w", method, path, ep.base, rerr), true
+		return nil, fmt.Errorf("client: %s %s via %s: truncated body: %w", method, path, ep.base, rerr), true, 0
 	}
 	ep.report(true, 0)
-	return data, nil, false
+	return data, nil, false, 0
 }
 
 // doOrder issues one request over an ordered candidate list in three
@@ -305,10 +340,19 @@ func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, metho
 	var lastErr error
 	attempts := 0
 	backoff := c.opts.RetryBackoff
+	var retryAfter time.Duration
 	for pass := 0; pass <= c.opts.MaxRetries; pass++ {
 		if pass > 0 {
 			c.retryPasses.Add(1)
-			t := time.NewTimer(backoff)
+			// Honor the largest Retry-After the failed pass collected when
+			// it exceeds our own exponential backoff: the server told us
+			// when budget returns, and hammering earlier just burns the
+			// remaining retry passes on guaranteed 429s.
+			wait := backoff
+			if retryAfter > wait {
+				wait = retryAfter
+			}
+			t := time.NewTimer(wait)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -317,6 +361,7 @@ func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, metho
 			}
 			backoff *= 2
 		}
+		retryAfter = 0
 		tried := map[*endpoint]bool{}
 		for sweep := 0; sweep < 3; sweep++ {
 			for i, ep := range order {
@@ -331,7 +376,7 @@ func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, metho
 				}
 				tried[ep] = true
 				attempts++
-				data, err, retryable := c.attempt(ctx, ep, method, path, body, contentType)
+				data, err, retryable, ra := c.attempt(ctx, ep, method, path, body, contentType)
 				if err == nil {
 					if i > 0 {
 						c.failovers.Add(1)
@@ -340,6 +385,9 @@ func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, metho
 				}
 				if !retryable {
 					return nil, err
+				}
+				if ra > retryAfter {
+					retryAfter = ra
 				}
 				lastErr = err
 			}
@@ -398,6 +446,7 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 	excluded := map[*endpoint]bool{}
 	var lastErr error
 	backoff := c.opts.RetryBackoff
+	var retryAfter time.Duration
 	pass := 0
 	for len(remaining) > 0 {
 		// Route every remaining fragment to the first endpoint of its
@@ -437,7 +486,14 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 					pass, len(c.eps), lastErr)
 			}
 			c.retryPasses.Add(1)
-			t := time.NewTimer(backoff)
+			// As in doOrder: when the pass died throttled, wait out the
+			// server's Retry-After rather than our (possibly shorter)
+			// exponential backoff.
+			wait := backoff
+			if retryAfter > wait {
+				wait = retryAfter
+			}
+			t := time.NewTimer(wait)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -445,16 +501,18 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 			case <-t.C:
 			}
 			backoff *= 2
+			retryAfter = 0
 			excluded = map[*endpoint]bool{}
 			continue
 		}
 
 		type groupResult struct {
-			ep        *endpoint
-			items     []shardItem
-			frags     []server.BatchFragment
-			err       error
-			retryable bool
+			ep         *endpoint
+			items      []shardItem
+			frags      []server.BatchFragment
+			err        error
+			retryable  bool
+			retryAfter time.Duration
 		}
 		results := make([]groupResult, 0, len(groups))
 		var (
@@ -477,8 +535,8 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 					req.Wants = append(req.Wants, server.BatchWant{Var: vr, Indices: byVar[vr]})
 				}
 				body, _ := json.Marshal(req)
-				blob, err, retryable := c.attempt(ctx, ep, "POST", "/v1/d/"+dataset+"/frags", body, "application/json")
-				res := groupResult{ep: ep, items: its, err: err, retryable: retryable}
+				blob, err, retryable, ra := c.attempt(ctx, ep, "POST", "/v1/d/"+dataset+"/frags", body, "application/json")
+				res := groupResult{ep: ep, items: its, err: err, retryable: retryable, retryAfter: ra}
 				if err == nil {
 					res.frags, res.err = server.DecodeBatch(blob)
 					// A batch that decodes wrong is corruption, not an
@@ -509,6 +567,9 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 					return nil, fmt.Errorf("client: batch fetch: %w", ctx.Err())
 				}
 				lastErr = res.err
+				if res.retryAfter > retryAfter {
+					retryAfter = res.retryAfter
+				}
 				excluded[res.ep] = true
 				remaining = append(remaining, res.items...)
 			default:

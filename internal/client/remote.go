@@ -103,6 +103,7 @@ func Open(ctx context.Context, baseURL, dataset string, opt Options) (*Remote, e
 			MaxRetries:   opt.MaxRetries,
 			RetryBackoff: opt.RetryBackoff,
 			CacheBytes:   -1,
+			Token:        opt.Token,
 		})
 		if err != nil {
 			return nil, err

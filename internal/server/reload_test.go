@@ -6,8 +6,8 @@ package server
 // that keeps a republished dataset from serving its predecessor's bytes.
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"

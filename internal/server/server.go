@@ -59,13 +59,13 @@ import (
 	"bytes"
 	"compress/gzip"
 	"context"
-	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -122,6 +122,17 @@ type Options struct {
 	// <token>". Empty keeps the admin routes disabled (403) — hot publish
 	// is opt-in per node.
 	AdminToken string
+	// Tenants enables multi-tenant serving when non-empty: every
+	// data-plane request must present one tenant's bearer token, and the
+	// tenant's QoS envelope (rate limit, in-flight cap, priority class)
+	// applies. The /healthz and /metrics probes stay open, and the
+	// reload route keeps its own AdminToken gate. See tenant.go.
+	Tenants []Tenant
+	// MaxQueue bounds how many admitted requests may wait for a serving
+	// slot before the server sheds with 503, expressed in requests per
+	// serving slot (default DefaultMaxQueue; negative allows no queueing
+	// at all — a request that cannot be served immediately sheds).
+	MaxQueue int
 }
 
 // dataset is one loaded archive with its precomputed wire artifacts.
@@ -181,6 +192,15 @@ type Stats struct {
 	Reloads        int64 `json:"reloads"`
 	ReloadFailures int64 `json:"reloadFailures"`
 	DatasetsLoaded int64 `json:"datasetsLoaded"`
+	// Admission-queue depths by class (see Options.MaxQueue).
+	QueuedInteractive int `json:"queuedInteractive"`
+	QueuedBulk        int `json:"queuedBulk"`
+	// Unauthorized counts data-plane requests rejected 401 for a missing
+	// or unknown tenant token (only possible with Options.Tenants set).
+	Unauthorized int64 `json:"unauthorized"`
+	// Tenants reports per-tenant serving counters, sorted by name; nil
+	// on a single-tenant (anonymous) server.
+	Tenants []TenantStats `json:"tenants,omitempty"`
 }
 
 // ReloadResult reports one successful hot publish: the dataset names now
@@ -206,11 +226,16 @@ type Server struct {
 	store storage.Store
 	opts  Options
 	mux   *http.ServeMux
-	sem   chan struct{}
+	adm   *admitter
 	cat   atomic.Pointer[catalog]
 	gen   atomic.Int64 // dataset load generations (hot-cache key prefix)
 	start time.Time
 	hot   *hotCache
+
+	// tenants holds per-tenant limiter/accounting state, sorted by name;
+	// empty on an anonymous server. The slice is immutable after New.
+	tenants      []*tenantState
+	unauthorized atomic.Int64
 
 	// reloadMu serializes hot publishes; readers never take it — they see
 	// either the old or the new catalog via the atomic pointer.
@@ -255,13 +280,32 @@ func New(ctx context.Context, st storage.Store, opt Options) (*Server, error) {
 	} else if opt.HotCacheBytes < 0 {
 		opt.HotCacheBytes = 0
 	}
+	if opt.MaxQueue == 0 {
+		opt.MaxQueue = DefaultMaxQueue
+	} else if opt.MaxQueue < 0 {
+		opt.MaxQueue = 0
+	}
+	if len(opt.Tenants) > 0 {
+		// Programmatic tenants get the same validation and defaulting a
+		// -tenants file gets; without this, a zero Burst would throttle
+		// every request of an in-code tenant.
+		var err error
+		if opt.Tenants, err = NormalizeTenants(opt.Tenants); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		store: st,
 		opts:  opt,
-		sem:   make(chan struct{}, opt.MaxInflight),
+		adm:   newAdmitter(opt.MaxInflight, opt.MaxQueue*opt.MaxInflight),
 		start: time.Now(),
 		hot:   newHotCache(opt.HotCacheBytes),
 	}
+	now := time.Now()
+	for _, t := range opt.Tenants {
+		s.tenants = append(s.tenants, newTenantState(t, now))
+	}
+	s.tenants = sortTenantStates(s.tenants)
 	for i := range s.routeHist {
 		s.routeHist[i] = obs.NewHistogram(obs.LatencyBuckets()...)
 	}
@@ -476,6 +520,11 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 		h(cw, r)
 		dur := time.Since(start)
 		s.routeHist[ri].Observe(dur.Seconds())
+		ts, _ := r.Context().Value(tenantCtxKey{}).(*tenantState)
+		if ts != nil {
+			ts.hist.Observe(dur.Seconds())
+			ts.bytes.Add(cw.bytes)
+		}
 		if route == "frags" {
 			if r.ContentLength >= 0 {
 				s.fragsReqHB.Observe(float64(r.ContentLength))
@@ -491,7 +540,7 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 			if route == "healthz" || route == "metrics" {
 				lvl = slog.LevelDebug // probes stay quiet at the default level
 			}
-			s.opts.Log.LogAttrs(r.Context(), lvl, "request",
+			attrs := []slog.Attr{
 				slog.String("route", route),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
@@ -499,7 +548,14 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 				slog.Int64("bytes", cw.bytes),
 				slog.Duration("duration", dur),
 				slog.String("request_id", rid),
-				slog.String("remote", r.RemoteAddr))
+				slog.String("remote", r.RemoteAddr),
+			}
+			if ts != nil {
+				attrs = append(attrs,
+					slog.String("tenant", ts.t.Name),
+					slog.String("class", ts.t.Class))
+			}
+			s.opts.Log.LogAttrs(r.Context(), lvl, "request", attrs...)
 		}
 	}
 }
@@ -516,7 +572,16 @@ func (s *Server) Stats() Stats {
 	requests, inflight, maxSeen := s.requests, s.inflight, s.maxSeen
 	s.limMu.Unlock()
 	hc := s.hot.stats()
+	depths := s.adm.depths()
+	var tstats []TenantStats
+	for _, ts := range s.tenants {
+		tstats = append(tstats, ts.stats())
+	}
 	return Stats{
+		QueuedInteractive: depths[0],
+		QueuedBulk:        depths[1],
+		Unauthorized:      s.unauthorized.Load(),
+		Tenants:           tstats,
 		Status:            "ok",
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		Datasets:          len(s.cat.Load().datasets),
@@ -555,26 +620,109 @@ func (s *Server) countRequest(track bool) func() {
 	}
 }
 
-// ServeHTTP implements http.Handler: bound concurrency, count, dispatch.
-// Observability probes bypass the semaphore — a saturated-but-healthy
-// server must still answer /healthz and /metrics, and the stats they
-// report need no slot.
+// tenantCtxKey carries the authenticated *tenantState from ServeHTTP to
+// the per-route instrumentation in counted.
+type tenantCtxKey struct{}
+
+// bearerToken extracts the request's bearer token.
+func bearerToken(r *http.Request) (string, bool) {
+	return strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+}
+
+// authenticate resolves the request's tenant. On an anonymous server
+// (no Options.Tenants) every request passes with a nil tenant. With
+// tenants configured, a missing or unknown token fails. The scan always
+// visits every tenant — no early exit — so response timing does not
+// depend on which tenant matched.
+func (s *Server) authenticate(r *http.Request) (*tenantState, bool) {
+	if len(s.tenants) == 0 {
+		return nil, true
+	}
+	tok, ok := bearerToken(r)
+	if !ok {
+		return nil, false
+	}
+	var match *tenantState
+	for _, ts := range s.tenants {
+		if TokenEqual(tok, ts.t.Token) {
+			match = ts
+		}
+	}
+	return match, match != nil
+}
+
+// ServeHTTP implements http.Handler: authenticate, rate-limit, admit,
+// count, dispatch. Observability probes bypass authentication and
+// admission — a saturated-but-healthy server must still answer
+// /healthz and /metrics, and the stats they report need no slot. The
+// admin reload route also skips tenant auth: it carries its own
+// AdminToken gate.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 		s.countRequest(false)
 		s.mux.ServeHTTP(w, r)
 		return
 	}
-	select {
-	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
+	class := 0 // interactive: anonymous and admin requests queue at priority
+	var ts *tenantState
+	if r.URL.Path != "/v1/datasets/reload" {
+		var ok bool
+		ts, ok = s.authenticate(r)
+		if !ok {
+			s.countRequest(false)
+			s.unauthorized.Add(1)
+			http.Error(w, "unknown or missing tenant token", http.StatusUnauthorized)
+			return
+		}
+	}
+	if ts != nil {
+		ts.requests.Add(1)
+		class = classIndex(ts.t.Class)
+		if ok, retryAfter := ts.allow(time.Now()); !ok {
+			s.countRequest(false)
+			ts.rateLimited.Add(1)
+			s.reject429(w, retryAfter)
+			return
+		}
+		if !ts.acquireInflight() {
+			s.countRequest(false)
+			ts.overInflight.Add(1)
+			s.reject429(w, time.Second)
+			return
+		}
+		defer ts.releaseInflight()
+		r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, ts))
+	}
+	switch err := s.adm.acquire(r.Context(), class); {
+	case errors.Is(err, errQueueFull):
+		s.countRequest(false)
+		if ts != nil {
+			ts.shed.Add(1)
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "admission queue full", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		s.countRequest(false)
 		http.Error(w, "canceled while queued", http.StatusServiceUnavailable)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer s.adm.release()
 	release := s.countRequest(true)
 	defer release()
 	s.mux.ServeHTTP(w, r)
+}
+
+// reject429 rejects an over-limit request with the instant the client
+// should try again. Retry-After is integer seconds (RFC 9110), rounded
+// up so a compliant client never retries into a still-empty bucket.
+func (s *Server) reject429(w http.ResponseWriter, retryAfter time.Duration) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "tenant over rate limit", http.StatusTooManyRequests)
 }
 
 // fragment returns one fragment payload: hot-cache hit, or a ranged store
@@ -668,6 +816,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("progqoid_reload_failures_total", "counter", "Hot publishes rejected by store validation (catalog kept).", st.ReloadFailures)
 	metric("progqoid_datasets_loaded_total", "counter", "Datasets ingested into a serving catalog, at startup and on each reload.", st.DatasetsLoaded)
 
+	// Admission-queue gauges: how many requests are parked per class
+	// right now, plus cumulative queue traffic. A persistently deep bulk
+	// queue with an empty interactive one is the QoS design working.
+	fmt.Fprintf(&b, "# HELP progqoid_admission_queued Requests parked in the admission queue, by class.\n"+
+		"# TYPE progqoid_admission_queued gauge\n"+
+		"progqoid_admission_queued{class=%q} %d\nprogqoid_admission_queued{class=%q} %d\n",
+		classLabels[0], st.QueuedInteractive, classLabels[1], st.QueuedBulk)
+	fmt.Fprintf(&b, "# HELP progqoid_admission_waits_total Requests that had to queue for a serving slot, by class.\n"+
+		"# TYPE progqoid_admission_waits_total counter\n")
+	for ci, cl := range classLabels {
+		fmt.Fprintf(&b, "progqoid_admission_waits_total{class=%q} %d\n", cl, s.adm.waits[ci].Load())
+	}
+	if len(s.tenants) > 0 {
+		metric("progqoid_unauthorized_total", "counter", "Data-plane requests rejected 401 (missing or unknown tenant token).", st.Unauthorized)
+		fmt.Fprintf(&b, "# HELP progqoid_tenant_requests_total Authenticated requests received per tenant, including rejected ones.\n"+
+			"# TYPE progqoid_tenant_requests_total counter\n")
+		for _, t := range st.Tenants {
+			fmt.Fprintf(&b, "progqoid_tenant_requests_total{tenant=%q,class=%q} %d\n", t.Name, t.Class, t.Requests)
+		}
+		fmt.Fprintf(&b, "# HELP progqoid_tenant_rejected_total Per-tenant QoS rejections, by reason: rate (429, token bucket), inflight (429, per-tenant cap), queue (503, shed).\n"+
+			"# TYPE progqoid_tenant_rejected_total counter\n")
+		for _, t := range st.Tenants {
+			fmt.Fprintf(&b, "progqoid_tenant_rejected_total{tenant=%q,reason=\"rate\"} %d\n", t.Name, t.RateLimited)
+			fmt.Fprintf(&b, "progqoid_tenant_rejected_total{tenant=%q,reason=\"inflight\"} %d\n", t.Name, t.OverInflight)
+			fmt.Fprintf(&b, "progqoid_tenant_rejected_total{tenant=%q,reason=\"queue\"} %d\n", t.Name, t.Shed)
+		}
+		fmt.Fprintf(&b, "# HELP progqoid_tenant_inflight Requests currently being served per tenant.\n"+
+			"# TYPE progqoid_tenant_inflight gauge\n")
+		for _, t := range st.Tenants {
+			fmt.Fprintf(&b, "progqoid_tenant_inflight{tenant=%q} %d\n", t.Name, t.Inflight)
+		}
+		fmt.Fprintf(&b, "# HELP progqoid_tenant_bytes_total Response bytes written per tenant.\n"+
+			"# TYPE progqoid_tenant_bytes_total counter\n")
+		for _, t := range st.Tenants {
+			fmt.Fprintf(&b, "progqoid_tenant_bytes_total{tenant=%q} %d\n", t.Name, t.Bytes)
+		}
+		obs.WriteFamilyHeader(&b, "progqoid_tenant_request_duration_seconds", "histogram", "Served-request latency per tenant.")
+		for _, ts := range s.tenants {
+			obs.WriteHistogramSeries(&b, "progqoid_tenant_request_duration_seconds",
+				`tenant="`+ts.t.Name+`",class="`+ts.t.Class+`"`, ts.hist.Snapshot())
+		}
+	}
+
 	// Cold-fetch counters, when the backing store reports them (object
 	// store backends): wire reads that missed every cache in front of the
 	// bucket. Summed bytes reconcile with the trace's store-span bytes.
@@ -729,8 +920,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "admin interface disabled (start with an admin token to enable hot publish)", http.StatusForbidden)
 		return
 	}
-	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-	if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.opts.AdminToken)) != 1 {
+	tok, ok := bearerToken(r)
+	if !ok || !TokenEqual(tok, s.opts.AdminToken) {
 		http.Error(w, "unauthorized", http.StatusUnauthorized)
 		return
 	}

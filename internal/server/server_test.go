@@ -1,9 +1,9 @@
 package server
 
 import (
-	"context"
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"

@@ -1,0 +1,262 @@
+package miniobj
+
+import (
+	"encoding/xml"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil && resp.StatusCode == http.StatusOK {
+		// Only the truncation fault makes a 200 body unreadable; callers
+		// that inject it read the body themselves.
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	s := New("bkt", Credentials{})
+	defer s.Close()
+
+	etag := s.Put("a/one", []byte("hello world"))
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("Put etag = %q, want quoted strong etag", etag)
+	}
+	if got := s.ETag("a/one"); got != etag {
+		t.Fatalf("ETag = %q, want %q", got, etag)
+	}
+	if got := s.ETag("missing"); got != "" {
+		t.Fatalf("ETag(missing) = %q, want empty", got)
+	}
+	s.Put("a/two", []byte("xx"))
+	s.Put("b/three", []byte("yy"))
+	if got := s.Keys(); len(got) != 3 || got[0] != "a/one" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if !s.Mutate("a/two", []byte("zz")) {
+		t.Fatal("Mutate of existing key = false")
+	}
+	// Mutate upserts; it only reports whether the key already existed.
+	if s.Mutate("missing", nil) {
+		t.Fatal("Mutate of missing key = true")
+	}
+	s.Delete("missing")
+	s.Delete("b/three")
+	if got := s.Keys(); len(got) != 2 {
+		t.Fatalf("Keys after delete = %v", got)
+	}
+
+	// GET: full body with ETag and Accept-Ranges.
+	resp, body := get(t, s.URL()+"/bkt/a/one", nil)
+	if resp.StatusCode != 200 || body != "hello world" || resp.Header.Get("ETag") != etag {
+		t.Fatalf("GET: %d %q etag=%q", resp.StatusCode, body, resp.Header.Get("ETag"))
+	}
+	// Ranged GET, end clamped to the object size.
+	resp, body = get(t, s.URL()+"/bkt/a/one", map[string]string{"Range": "bytes=6-99"})
+	if resp.StatusCode != http.StatusPartialContent || body != "world" {
+		t.Fatalf("ranged GET: %d %q", resp.StatusCode, body)
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != "bytes 6-10/11" {
+		t.Fatalf("Content-Range = %q", cr)
+	}
+	// Unsatisfiable and malformed ranges.
+	resp, _ = get(t, s.URL()+"/bkt/a/one", map[string]string{"Range": "bytes=50-60"})
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("range past EOF: %d", resp.StatusCode)
+	}
+	resp, body = get(t, s.URL()+"/bkt/a/one", map[string]string{"Range": "bytes=1-2,4-5"})
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable || !strings.Contains(body, "InvalidRange") {
+		t.Fatalf("multi-range: %d %q", resp.StatusCode, body)
+	}
+	// Conditional GETs.
+	resp, _ = get(t, s.URL()+"/bkt/a/one", map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match hit: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, s.URL()+"/bkt/a/one", map[string]string{"If-Match": `"deadbeef"`})
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("If-Match miss: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, s.URL()+"/bkt/a/one", map[string]string{"If-Match": "*"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("If-Match *: %d", resp.StatusCode)
+	}
+	// Missing key, wrong bucket, unsupported method.
+	resp, body = get(t, s.URL()+"/bkt/nope", nil)
+	if resp.StatusCode != 404 || !strings.Contains(body, "NoSuchKey") {
+		t.Fatalf("missing key: %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, s.URL()+"/other/a/one", nil)
+	if resp.StatusCode != 404 || !strings.Contains(body, "NoSuchBucket") {
+		t.Fatalf("wrong bucket: %d %q", resp.StatusCode, body)
+	}
+	req, _ := http.NewRequest("DELETE", s.URL()+"/bkt/a/one", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE: %d", dresp.StatusCode)
+	}
+
+	// PUT over the wire lands in the store with a fresh ETag.
+	preq, _ := http.NewRequest("PUT", s.URL()+"/bkt/c/four", strings.NewReader("wire"))
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != 200 || presp.Header.Get("ETag") != s.ETag("c/four") {
+		t.Fatalf("PUT: %d etag=%q", presp.StatusCode, presp.Header.Get("ETag"))
+	}
+
+	gets, lists, puts, denied := s.Stats()
+	if gets == 0 || puts != 1 || lists != 0 || denied != 0 {
+		t.Fatalf("Stats = %d gets %d lists %d puts %d denied", gets, lists, puts, denied)
+	}
+}
+
+func TestListObjectsV2(t *testing.T) {
+	s := New("bkt", Credentials{})
+	defer s.Close()
+	s.Put("frag/001", []byte("a"))
+	s.Put("frag/002", []byte("bb"))
+	s.Put("frag/003", []byte("ccc"))
+	s.Put("meta/idx", []byte("d"))
+
+	type doc struct {
+		KeyCount              int    `xml:"KeyCount"`
+		IsTruncated           bool   `xml:"IsTruncated"`
+		NextContinuationToken string `xml:"NextContinuationToken"`
+		Contents              []struct {
+			Key  string `xml:"Key"`
+			Size int    `xml:"Size"`
+		} `xml:"Contents"`
+	}
+	list := func(query string) doc {
+		t.Helper()
+		resp, body := get(t, s.URL()+"/bkt?"+query, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("list %q: %d %s", query, resp.StatusCode, body)
+		}
+		var d doc
+		if err := xml.Unmarshal([]byte(body), &d); err != nil {
+			t.Fatalf("list %q: %v", query, err)
+		}
+		return d
+	}
+
+	if resp, body := get(t, s.URL()+"/bkt?list-type=1", nil); resp.StatusCode != 400 || !strings.Contains(body, "InvalidArgument") {
+		t.Fatalf("list-type=1: %d %q", resp.StatusCode, body)
+	}
+	all := list("list-type=2")
+	if all.KeyCount != 4 || all.IsTruncated {
+		t.Fatalf("full list: %+v", all)
+	}
+	pre := list("list-type=2&prefix=frag/")
+	if pre.KeyCount != 3 || pre.Contents[0].Key != "frag/001" {
+		t.Fatalf("prefix list: %+v", pre)
+	}
+
+	// Page through with maxKeys=2: two pages, resumed by token.
+	s.SetMaxKeys(2)
+	page1 := list("list-type=2&prefix=frag/")
+	if page1.KeyCount != 2 || !page1.IsTruncated || page1.NextContinuationToken != "frag/002" {
+		t.Fatalf("page 1: %+v", page1)
+	}
+	page2 := list("list-type=2&prefix=frag/&continuation-token=" + page1.NextContinuationToken)
+	if page2.KeyCount != 1 || page2.IsTruncated || page2.Contents[0].Key != "frag/003" {
+		t.Fatalf("page 2: %+v", page2)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	s := New("bkt", Credentials{})
+	defer s.Close()
+	s.Put("k", []byte("0123456789abcdef"))
+
+	s.Fail503(1)
+	if resp, body := get(t, s.URL()+"/bkt/k", nil); resp.StatusCode != 503 || !strings.Contains(body, "SlowDown") {
+		t.Fatalf("injected 503: %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, s.URL()+"/bkt/k", nil); resp.StatusCode != 200 {
+		t.Fatalf("after 503 budget: %d", resp.StatusCode)
+	}
+
+	s.Deny403(true)
+	if resp, body := get(t, s.URL()+"/bkt/k", nil); resp.StatusCode != 403 || !strings.Contains(body, "AccessDenied") {
+		t.Fatalf("injected 403: %d %q", resp.StatusCode, body)
+	}
+	s.Deny403(false)
+	if _, _, _, denied := s.Stats(); denied != 1 {
+		t.Fatalf("denied counter = %d, want 1", denied)
+	}
+
+	s.SetDelay(time.Millisecond)
+	start := time.Now()
+	if resp, _ := get(t, s.URL()+"/bkt/k", nil); resp.StatusCode != 200 {
+		t.Fatalf("delayed GET: %d", resp.StatusCode)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay was not applied")
+	}
+	s.SetDelay(0)
+
+	// Truncation promises the full length, delivers half, and aborts —
+	// the client must see an unexpected EOF, not a clean short body.
+	s.TruncateNext(1)
+	resp, err := http.Get(s.URL() + "/bkt/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("truncated read succeeded with %d bytes", len(b))
+	}
+	if len(b) >= 16 {
+		t.Fatalf("truncated body delivered %d bytes, want < 16", len(b))
+	}
+}
+
+func TestUnsignedRejectedWhenCredentialsConfigured(t *testing.T) {
+	s := New("bkt", Credentials{AccessKey: "AK", SecretKey: "SK"})
+	defer s.Close()
+	s.Put("k", []byte("v"))
+	resp, body := get(t, s.URL()+"/bkt/k", nil)
+	if resp.StatusCode != 403 || !strings.Contains(body, "SignatureDoesNotMatch") {
+		t.Fatalf("unsigned GET with creds: %d %q", resp.StatusCode, body)
+	}
+	req, _ := http.NewRequest("GET", s.URL()+"/bkt/k", nil)
+	req.Header.Set("Authorization", "AWS4-HMAC-SHA256 Credential=garbage")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 403 {
+		t.Fatalf("malformed signature: %d", r2.StatusCode)
+	}
+	if _, _, _, denied := s.Stats(); denied != 2 {
+		t.Fatalf("denied counter = %d, want 2", denied)
+	}
+}

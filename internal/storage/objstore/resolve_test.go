@@ -18,10 +18,10 @@ func TestSplitRef(t *testing.T) {
 		{"s3://bucket/", "bucket", "", false},
 		{"s3://bucket/prefix", "bucket", "prefix", false},
 		{"s3://bucket/a/b/c/", "bucket", "a/b/c", false},
-		{"s3://", "", "", true},                  // missing bucket
-		{"s3:///prefix", "", "", true},           // missing bucket, path only
-		{"http://bucket/p", "", "", true},        // wrong scheme
-		{"bucket/prefix", "", "", true},          // no scheme
+		{"s3://", "", "", true},                   // missing bucket
+		{"s3:///prefix", "", "", true},            // missing bucket, path only
+		{"http://bucket/p", "", "", true},         // wrong scheme
+		{"bucket/prefix", "", "", true},           // no scheme
 		{"s3://bucket/p?version=2", "", "", true}, // query
 		{"s3://bucket/p#frag", "", "", true},      // fragment
 	}

@@ -1,8 +1,8 @@
 package storage
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"reflect"

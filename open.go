@@ -189,6 +189,7 @@ func openRemoteArchive(ctx context.Context, baseURL, dataset string, ro remoteOp
 		Endpoints:     ro.endpoints,
 		Replication:   ro.replication,
 		DiscoverPeers: ro.discover,
+		Token:         ro.token,
 	})
 	if err != nil {
 		return nil, err

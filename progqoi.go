@@ -221,6 +221,7 @@ type remoteOptions struct {
 	endpoints   []string
 	replication int
 	discover    bool
+	token       string
 	s3Endpoint  string
 	s3Access    string
 	s3Secret    string
@@ -293,6 +294,28 @@ func WithS3Credentials(accessKey, secretKey string) RemoteOption {
 func WithS3Region(region string) RemoteOption {
 	return func(o *remoteOptions) { o.s3Region = region }
 }
+
+// WithToken attaches a tenant bearer token to every request against a
+// progqoid service started with -tenants. The token selects the tenant's
+// QoS envelope (rate limit, in-flight cap, priority class); requests over
+// the rate limit are throttled with 429 + Retry-After, which the client
+// honors transparently — across replicas, a retrieval slows down rather
+// than fails, and final results stay bit-identical. Missing or unknown
+// tokens fail immediately with an error matching ErrUnauthorized.
+// Ignored by servers without tenants and by non-http(s) schemes.
+func WithToken(token string) RemoteOption {
+	return func(o *remoteOptions) { o.token = token }
+}
+
+// Sentinel errors surfaced by sessions against a multi-tenant service,
+// matched with errors.Is: ErrUnauthorized (401 — missing or unknown
+// token), ErrForbidden (403), and ErrRateLimited (a 429 that survived
+// the whole retry budget on every replica).
+var (
+	ErrUnauthorized = client.ErrUnauthorized
+	ErrForbidden    = client.ErrForbidden
+	ErrRateLimited  = client.ErrRateLimited
+)
 
 // WithReadAhead pipelines the wire with the decoder: after each batched
 // fragment fetch, up to n further fragments per variable — the ones a
