@@ -34,6 +34,22 @@
 // in-memory hot-fragment cache in front of the directory; /metrics
 // exposes serving counters in Prometheus text format.
 //
+// An *elastic* cluster manages membership dynamically instead: a node
+// boots with -join pointing at any live member (or -heartbeat alone to
+// seed a new cluster) and announces itself, heartbeats carry the full
+// membership table between nodes, silent members are marked suspect and
+// eventually removed, and clients following the cluster with
+// progqoi.WithTopologyRefresh re-route mid-session:
+//
+//	progqoid -store ./archives -addr :9124 \
+//	    -advertise http://node1:9124 -join http://node0:9123
+//
+// POST /v1/cluster/drain (admin bearer token, like reload) retires a
+// node gracefully: it stops accepting new sessions (503 on index/meta),
+// finishes in-flight fragment work, and deregisters from its peers. On
+// SIGINT/SIGTERM an elastic node leaves the cluster before the listener
+// closes. See ARCHITECTURE.md "Elastic cluster".
+//
 // -admin TOKEN enables zero-downtime dataset publishing: pack a new
 // dataset into the served directory (variable blobs land first, the
 // manifest last, so a torn pack is invisible) and trigger
@@ -210,6 +226,10 @@ func run(args []string) error {
 	cache := fs.Int64("cache", server.DefaultHotCacheBytes, "hot-fragment cache bound in bytes (negative disables)")
 	advertise := fs.String("advertise", "", "this node's public base URL, reported at /v1/cluster")
 	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster nodes, reported at /v1/cluster")
+	join := fs.String("join", "", "comma-separated seed base URLs of an elastic cluster to join on boot (requires -advertise; enables heartbeating)")
+	heartbeat := fs.Duration("heartbeat", 0, "membership heartbeat interval (0 with -join defaults to "+server.DefaultHeartbeatInterval.String()+"; >0 without -join starts a joinable seed node)")
+	suspectAfter := fs.Duration("suspect-after", 0, "silence after which a member is marked suspect and unrouted (default "+fmt.Sprint(server.DefaultSuspectMultiple)+"x heartbeat)")
+	removeAfter := fs.Duration("remove-after", 0, "silence after which a suspect member is removed from the cluster (default "+fmt.Sprint(server.DefaultRemoveMultiple)+"x heartbeat)")
 	admin := fs.String("admin", "", "admin token enabling hot publish via POST /v1/datasets/reload (empty disables)")
 	tenantsPath := fs.String("tenants", "", "JSON tenant config enabling multi-tenant auth + QoS (empty serves anonymously); see ARCHITECTURE.md")
 	maxQueue := fs.Int("max-queue", 0, "admission queue bound in waiting requests per serving slot (0 = default "+fmt.Sprint(server.DefaultMaxQueue)+", negative disables queueing)")
@@ -249,6 +269,23 @@ func run(args []string) error {
 			return fmt.Errorf("-advertise: %w", err)
 		}
 	}
+	seedURLs, err := parsePeers(*join)
+	if err != nil {
+		return fmt.Errorf("-join: %w", err)
+	}
+	elastic := *join != "" || *heartbeat > 0
+	if *join != "" && *advertise == "" {
+		return fmt.Errorf("-join requires -advertise: peers must know this node's public base URL")
+	}
+	if elastic && *advertise == "" {
+		return fmt.Errorf("-heartbeat requires -advertise: membership announces this node's public base URL")
+	}
+	if (*suspectAfter != 0 || *removeAfter != 0) && !elastic {
+		return fmt.Errorf("-suspect-after/-remove-after need elastic membership (-join or -heartbeat)")
+	}
+	if *suspectAfter < 0 || *removeAfter < 0 || *heartbeat < 0 {
+		return fmt.Errorf("membership intervals must be positive")
+	}
 	var tenants []server.Tenant
 	if *tenantsPath != "" {
 		if tenants, err = server.LoadTenants(*tenantsPath); err != nil {
@@ -259,7 +296,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(context.Background(), st, server.Options{
+	opts := server.Options{
 		MaxInflight:   *limit,
 		MaxQueue:      *maxQueue,
 		HotCacheBytes: *cache,
@@ -269,7 +306,17 @@ func run(args []string) error {
 		Tenants:       tenants,
 		LogRequests:   *verbose,
 		Log:           lg,
-	})
+	}
+	if elastic {
+		opts.HeartbeatInterval = *heartbeat
+		opts.SuspectAfter = *suspectAfter
+		opts.RemoveAfter = *removeAfter
+		// Wall-clock generations order restarts: a node that comes back on
+		// the same address always announces a generation newer than the
+		// incarnation its peers remember.
+		opts.Generation = time.Now().UnixNano()
+	}
+	srv, err := server.New(context.Background(), st, opts)
 	if err != nil {
 		return fmt.Errorf("store %s: %w", storeRef, err)
 	}
@@ -286,6 +333,7 @@ func run(args []string) error {
 		slog.Int("peers", len(peerURLs)),
 		slog.Bool("hot_publish", *admin != ""),
 		slog.Int("tenants", len(tenants)),
+		slog.Bool("elastic", elastic),
 		slog.Bool("pprof", *pprofOn))
 
 	handler := http.Handler(srv)
@@ -297,6 +345,13 @@ func run(args []string) error {
 	hs := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	if elastic {
+		// Announce after the listener goroutine is up so a seed's
+		// anti-entropy probe of this node can already be answered.
+		if err := srv.StartMembership(context.Background(), *advertise, seedURLs); err != nil {
+			return fmt.Errorf("-join: %w", err)
+		}
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -306,6 +361,14 @@ func run(args []string) error {
 		lg.Info("draining", slog.String("signal", s.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if elastic {
+			// Deregister before the listener closes: peers drop this node
+			// from their membership (and clients from their views) instead
+			// of waiting out the suspicion window.
+			srv.Drain()
+			srv.LeaveCluster(ctx)
+			srv.StopMembership()
+		}
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}

@@ -240,6 +240,36 @@ func TestRunStartupErrors(t *testing.T) {
 		}
 		runErr(t, true, "-dir", bad)
 	})
+	t.Run("join requires advertise", func(t *testing.T) {
+		err := runErr(t, true, "-dir", dir, "-join", "http://seed:9123")
+		if err == nil || !strings.Contains(err.Error(), "-advertise") {
+			t.Fatalf("error %v does not demand -advertise", err)
+		}
+	})
+	t.Run("heartbeat requires advertise", func(t *testing.T) {
+		err := runErr(t, true, "-dir", dir, "-heartbeat", "50ms")
+		if err == nil || !strings.Contains(err.Error(), "-advertise") {
+			t.Fatalf("error %v does not demand -advertise", err)
+		}
+	})
+	t.Run("malformed join seed", func(t *testing.T) {
+		err := runErr(t, true, "-dir", dir, "-advertise", "http://n:1", "-join", "nope")
+		if err == nil || !strings.Contains(err.Error(), "-join") {
+			t.Fatalf("error %v does not name -join", err)
+		}
+	})
+	t.Run("membership timers need elastic mode", func(t *testing.T) {
+		err := runErr(t, true, "-dir", dir, "-suspect-after", "1s")
+		if err == nil || !strings.Contains(err.Error(), "elastic") {
+			t.Fatalf("error %v does not explain the elastic requirement", err)
+		}
+	})
+	t.Run("negative heartbeat rejected", func(t *testing.T) {
+		err := runErr(t, true, "-dir", dir, "-advertise", "http://n:1", "-heartbeat", "-1s")
+		if err == nil {
+			t.Fatal("negative heartbeat accepted")
+		}
+	})
 }
 
 // clearS3Env isolates a subtest from any ambient PROGQOI_S3_*

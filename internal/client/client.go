@@ -76,10 +76,19 @@ type Options struct {
 	// (default DefaultBreakerCooldown).
 	BreakerCooldown time.Duration
 	// DiscoverPeers asks Open to fetch /v1/cluster from the primary
-	// endpoint and merge the advertised peers into Endpoints, so a client
-	// pointed at one node of a static cluster finds the rest. Discovery
-	// is best-effort: nodes without the route are treated as solo.
+	// endpoint and merge the advertised peers (and alive members, on an
+	// elastic cluster) into Endpoints, so a client pointed at one node
+	// finds the rest. Discovery is best-effort: nodes without the route
+	// are treated as solo.
 	DiscoverPeers bool
+	// TopologyRefresh enables elastic mode: the client re-resolves the
+	// cluster membership every TopologyRefresh by fetching /v1/cluster
+	// and swapping in a fresh epoch-numbered view (see view.go), so
+	// sessions follow joins, drains, and rolling restarts mid-retrieval.
+	// It also arms the fast path: a fully failed retry pass forces an
+	// immediate refresh. 0 (the default) keeps the topology fixed for the
+	// client's lifetime. Call Close to stop the background refresher.
+	TopologyRefresh time.Duration
 	// Token is a tenant bearer token sent as "Authorization: Bearer …" on
 	// every request. Required against a multi-tenant server (one started
 	// with -tenants); ignored by anonymous servers. Empty sends no header.
@@ -154,6 +163,16 @@ type Stats struct {
 	// retried after honoring the server's Retry-After; none tripped a
 	// circuit breaker — being throttled proves the node alive.
 	RateLimited int64
+	// TopologyEpoch numbers the current topology view: it starts at 1 and
+	// bumps every time a refresh installs a different routable set.
+	TopologyEpoch int64
+	// TopologySwaps counts installed view changes after the initial one —
+	// how many times the client observed the cluster move.
+	TopologySwaps int64
+	// Routable lists the current view's endpoint URLs: the cluster's
+	// alive members as of the last refresh. A subset of Endpoints, which
+	// also keeps endpoints that have left the view.
+	Routable []string
 	// CacheBytes / CacheEntries / CacheEvictions describe the LRU.
 	CacheBytes     int64
 	CacheEntries   int
@@ -175,11 +194,27 @@ type call struct {
 // the cache and coalescing work across sessions, and the per-endpoint
 // breaker state is what routes every session around a dead node.
 type Client struct {
-	eps   []*endpoint // configured order; rendezvous order is per key
-	repl  int         // replica-set size, clamped to len(eps)
 	hc    *http.Client
 	opts  Options
 	cache *lruCache
+
+	// topo is the current epoch-numbered topology view (see view.go),
+	// swapped whole on membership changes — the client-side mirror of
+	// the server's hot-publish catalog swap. Requests re-load it at the
+	// start of every retry pass.
+	topo atomic.Pointer[clusterView]
+
+	// The endpoint registry: every endpoint this client has ever routed
+	// to, in first-seen order. Views reference these canonical objects,
+	// so breaker state and counters survive leaving and rejoining.
+	epMu    sync.Mutex
+	epByURL map[string]*endpoint // guarded by epMu
+	epOrder []*endpoint          // guarded by epMu
+
+	// refreshStop ends the background refresher; Close closes it once.
+	refreshStop chan struct{}
+	refreshWG   sync.WaitGroup
+	closeOnce   sync.Once
 
 	mu       sync.Mutex
 	inflight map[string]*call // guarded by mu
@@ -196,44 +231,51 @@ type Client struct {
 	failovers    atomic.Int64
 	retryPasses  atomic.Int64
 	rateLimited  atomic.Int64
+	viewSwaps    atomic.Int64
 }
 
 // New returns a client for the service at baseURL (e.g.
 // "http://host:9123") plus any extra cluster endpoints in opt.Endpoints.
+// With Options.TopologyRefresh set it also starts the background
+// topology refresher; stop it with Close.
 func New(baseURL string, opt Options) (*Client, error) {
 	opt = opt.withDefaults()
-	var eps []*endpoint
-	seen := map[string]bool{}
+	c := &Client{
+		hc:          opt.HTTPClient,
+		opts:        opt,
+		cache:       newLRUCache(opt.CacheBytes),
+		inflight:    map[string]*call{},
+		indexes:     map[string]*server.Index{},
+		epByURL:     map[string]*endpoint{},
+		refreshStop: make(chan struct{}),
+	}
+	bases := make([]string, 0, 1+len(opt.Endpoints))
 	for _, u := range append([]string{baseURL}, opt.Endpoints...) {
 		base := strings.TrimRight(u, "/")
 		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 			return nil, fmt.Errorf("client: base URL %q must be http(s)", u)
 		}
-		if seen[base] {
-			continue
-		}
-		seen[base] = true
-		eps = append(eps, &endpoint{base: base, hash: fnv64(base)})
+		bases = append(bases, base)
 	}
-	repl := opt.Replication
-	if repl > len(eps) {
-		repl = len(eps)
+	if !c.installView(bases) {
+		return nil, fmt.Errorf("client: no usable endpoints in %q", bases)
 	}
-	return &Client{
-		eps:      eps,
-		repl:     repl,
-		hc:       opt.HTTPClient,
-		opts:     opt,
-		cache:    newLRUCache(opt.CacheBytes),
-		inflight: map[string]*call{},
-		indexes:  map[string]*server.Index{},
-	}, nil
+	if opt.TopologyRefresh > 0 {
+		c.refreshWG.Add(1)
+		go c.refresher()
+	}
+	return c, nil
 }
 
-// Endpoints returns the configured endpoint base URLs.
+// Endpoints returns every endpoint base URL this client knows, in
+// first-seen order: the configured ones, then any discovered by
+// topology refresh. Endpoints no longer in the routable view stay
+// listed (their breaker stats remain meaningful); see Stats.Routable
+// for the current view.
 func (c *Client) Endpoints() []string {
-	out := make([]string, len(c.eps))
-	for i, ep := range c.eps {
+	eps := c.epSnapshot()
+	out := make([]string, len(eps))
+	for i, ep := range eps {
 		out[i] = ep.base
 	}
 	return out
@@ -242,7 +284,10 @@ func (c *Client) Endpoints() []string {
 // Stats snapshots the wire accounting.
 func (c *Client) Stats() Stats {
 	cb, ce, ev := c.cache.stats()
+	v := c.view()
 	st := Stats{
+		TopologyEpoch:    v.epoch,
+		TopologySwaps:    c.viewSwaps.Load(),
 		WireBytes:        c.wireBytes.Load(),
 		WireRequests:     c.wireRequests.Load(),
 		FragmentsFetched: c.fragsFetched.Load(),
@@ -256,7 +301,10 @@ func (c *Client) Stats() Stats {
 		CacheEntries:     ce,
 		CacheEvictions:   ev,
 	}
-	for _, ep := range c.eps {
+	for _, ep := range v.eps {
+		st.Routable = append(st.Routable, ep.base)
+	}
+	for _, ep := range c.epSnapshot() {
 		es := ep.snapshot()
 		st.BreakerOpens += es.Opens
 		st.Endpoints = append(st.Endpoints, es)
@@ -311,12 +359,12 @@ func (e *HTTPError) Is(target error) bool {
 // Transport errors, truncated bodies, and 5xx responses fail over to the
 // next endpoint and retry; other non-200 statuses fail immediately with
 // *HTTPError. Non-fragment routes hash by path, so metadata traffic also
-// spreads over the cluster deterministically. ctx cancels the in-flight
-// request and any backoff wait: once ctx is done no further attempts are
-// made and the context's error is returned.
+// spreads over the cluster deterministically — and may spill to every
+// endpoint of the current view, not just a replica set. ctx cancels the
+// in-flight request and any backoff wait: once ctx is done no further
+// attempts are made and the context's error is returned.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, error) {
-	order := c.candidates(path)
-	return c.doOrder(ctx, order, len(order), method, path, body, contentType)
+	return c.doKeyed(ctx, path, false, method, path, body, contentType)
 }
 
 // Health fetches the service's /healthz stats.
@@ -407,7 +455,7 @@ func (c *Client) Fragment(ctx context.Context, dataset, vr string, fi int) ([]by
 		mf = tr.Begin(obs.CatFetch, "frag "+vr+"/"+strconv.Itoa(fi))
 	}
 	path := "/v1/d/" + dataset + "/frag/" + vr + "/" + strconv.Itoa(fi)
-	b, err := c.doOrder(ctx, c.candidates(shardKey(vr, fi)), c.repl, "GET", path, nil, "")
+	b, err := c.doKeyed(ctx, shardKey(vr, fi), true, "GET", path, nil, "")
 	if err != nil {
 		mf.End()
 		return nil, err

@@ -190,20 +190,22 @@ func fnv64(s string) uint64 {
 	return h.Sum64()
 }
 
-// candidates returns every endpoint ordered by rendezvous score for key,
-// highest first. The order is deterministic across clients and immune to
-// the endpoint list's input order.
-func (c *Client) candidates(key string) []*endpoint {
-	if len(c.eps) == 1 {
-		return c.eps
+// rankEndpoints orders eps by rendezvous score for key, highest first.
+// The order is deterministic across clients, immune to the endpoint
+// list's input order, and — because each endpoint scores independently —
+// minimally disturbed by membership changes: adding or removing one node
+// moves only the keys it wins or held.
+func rankEndpoints(eps []*endpoint, key string) []*endpoint {
+	if len(eps) == 1 {
+		return eps
 	}
 	type scored struct {
 		ep    *endpoint
 		score uint64
 	}
 	kh := mix64(fnv64(key))
-	sc := make([]scored, len(c.eps))
-	for i, ep := range c.eps {
+	sc := make([]scored, len(eps))
+	for i, ep := range eps {
 		sc[i] = scored{ep, mix64(ep.hash ^ kh)}
 	}
 	sort.Slice(sc, func(i, j int) bool {
@@ -217,6 +219,11 @@ func (c *Client) candidates(key string) []*endpoint {
 		out[i] = s.ep
 	}
 	return out
+}
+
+// candidates ranks the current topology view's endpoints for key.
+func (c *Client) candidates(key string) []*endpoint {
+	return rankEndpoints(c.view().eps, key)
 }
 
 // parseRetryAfter reads a Retry-After header value: integer seconds (the
@@ -324,16 +331,21 @@ func (c *Client) attempt(ctx context.Context, ep *endpoint, method, path string,
 	return data, nil, false, 0
 }
 
-// doOrder issues one request over an ordered candidate list in three
-// sweeps per pass: replicas (the first repl candidates) with willing
-// breakers, then any endpoint with a willing breaker (healthy spill), and
-// only then breaker-open nodes as a last resort — so a shard whose whole
+// doKeyed issues one request routed by rendezvous key in three sweeps
+// per pass: replicas (the first repl candidates) with willing breakers,
+// then any endpoint with a willing breaker (healthy spill), and only
+// then breaker-open nodes as a last resort — so a shard whose whole
 // replica set is dead reaches a healthy non-replica without first eating
-// a doomed dial timeout per open circuit. Failing over to the next
-// candidate is immediate; exponential backoff applies only between full
-// passes, and MaxRetries bounds the extra passes exactly as it bounded
-// single-endpoint retries.
-func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, method, path string, body []byte, contentType string) ([]byte, error) {
+// a doomed dial timeout per open circuit. The candidate order is
+// re-resolved from the current topology view at the start of every pass
+// (and, in elastic mode, a fully failed pass forces a view refresh
+// first), so a retry after a membership change routes against the
+// cluster as it is, not as it was. replicaSet restricts the first sweep
+// to the view's replica set; metadata routes pass false and may use the
+// whole view. Failing over to the next candidate is immediate;
+// exponential backoff applies only between full passes, and MaxRetries
+// bounds the extra passes exactly as it bounded single-endpoint retries.
+func (c *Client) doKeyed(ctx context.Context, key string, replicaSet bool, method, path string, body []byte, contentType string) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -360,8 +372,15 @@ func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, metho
 			case <-t.C:
 			}
 			backoff *= 2
+			c.refreshAfterFailedPass(ctx)
 		}
 		retryAfter = 0
+		v := c.view()
+		order := rankEndpoints(v.eps, key)
+		repl := len(order)
+		if replicaSet && v.repl < repl {
+			repl = v.repl
+		}
 		tried := map[*endpoint]bool{}
 		for sweep := 0; sweep < 3; sweep++ {
 			for i, ep := range order {
@@ -396,8 +415,9 @@ func (c *Client) doOrder(ctx context.Context, order []*endpoint, repl int, metho
 	return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempts, lastErr)
 }
 
-// ClusterInfo fetches a node's static topology (progqoid -advertise and
-// -peers), for endpoint discovery.
+// ClusterInfo fetches a node's live topology — membership table, epoch,
+// drain state, plus the legacy advertise/peers fields — for endpoint
+// discovery. RefreshTopology is the view-installing wrapper.
 func (c *Client) ClusterInfo(ctx context.Context) (*server.ClusterInfo, error) {
 	b, err := c.do(ctx, "GET", "/v1/cluster", nil, "")
 	if err != nil {
@@ -412,30 +432,31 @@ func (c *Client) ClusterInfo(ctx context.Context) (*server.ClusterInfo, error) {
 
 // shardItem is one fragment routed through the sharded batch fetch.
 type shardItem struct {
-	vr    string
-	fi    int
-	key   string // fragKey (cache/result key)
-	order []*endpoint
+	vr  string
+	fi  int
+	key string // fragKey (cache/result key)
 }
 
 // fetchShards fetches the given fragments from the cluster: each fragment
 // routes to the first available endpoint of its rendezvous order, the
 // per-endpoint sub-batches travel as concurrent POSTs bounded by workers,
 // and a sub-batch that fails with a retryable error is re-sharded onto
-// the next replica of each of its fragments. Backoff and the MaxRetries
-// budget apply only once every endpoint has failed the current pass —
-// plain failover is free. The result maps fragKey to payload (payloads
-// alias the response blobs; callers clone before caching).
+// the next replica of each of its fragments. Routing state is per pass:
+// every iteration loads the current topology view and re-ranks the
+// remaining fragments against it, so a view swap mid-call redirects only
+// the fragments not yet fetched. Backoff and the MaxRetries budget apply
+// only once every endpoint has failed the current pass — plain failover
+// is free — and a failed pass forces a view refresh in elastic mode.
+// A fragment served by an endpoint other than its current pass's primary
+// counts one failover; each fragment is fetched successfully exactly
+// once, so Failovers can never double-count a fragment across passes or
+// view swaps. The result maps fragKey to payload (payloads alias the
+// response blobs; callers clone before caching).
 func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[string][]int, workers int) (map[string][]byte, error) {
 	var items []shardItem
 	for _, vr := range sortedKeys(wants) {
 		for _, fi := range wants[vr] {
-			items = append(items, shardItem{
-				vr:    vr,
-				fi:    fi,
-				key:   fragKey(dataset, vr, fi),
-				order: c.candidates(shardKey(vr, fi)),
-			})
+			items = append(items, shardItem{vr: vr, fi: fi, key: fragKey(dataset, vr, fi)})
 		}
 	}
 	if workers <= 0 {
@@ -450,20 +471,26 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 	pass := 0
 	for len(remaining) > 0 {
 		// Route every remaining fragment to the first endpoint of its
-		// rendezvous order that has not failed this call: replicas with
-		// willing breakers first, then any willing endpoint (healthy
-		// spill), and breaker-open nodes only as a last resort — never
-		// ahead of a healthy non-replica.
-		groups := map[*endpoint][]shardItem{}
+		// rendezvous order — in the topology view current *now* — that has
+		// not failed this call: replicas with willing breakers first, then
+		// any willing endpoint (healthy spill), and breaker-open nodes
+		// only as a last resort — never ahead of a healthy non-replica.
+		v := c.view()
+		type assignment struct {
+			items   []shardItem
+			primary []bool // item's chosen endpoint was its rendezvous primary
+		}
+		groups := map[*endpoint]*assignment{}
 		now := time.Now()
 		for _, it := range remaining {
+			order := rankEndpoints(v.eps, shardKey(it.vr, it.fi))
 			var ep *endpoint
 			for sweep := 0; sweep < 3 && ep == nil; sweep++ {
-				for i, cand := range it.order {
+				for i, cand := range order {
 					if excluded[cand] {
 						continue
 					}
-					if sweep == 0 && i >= c.repl {
+					if sweep == 0 && i >= v.repl {
 						continue
 					}
 					if sweep < 2 && !cand.admit(now) {
@@ -474,7 +501,13 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 				}
 			}
 			if ep != nil {
-				groups[ep] = append(groups[ep], it)
+				g := groups[ep]
+				if g == nil {
+					g = &assignment{}
+					groups[ep] = g
+				}
+				g.items = append(g.items, it)
+				g.primary = append(g.primary, ep == order[0])
 			}
 		}
 		if len(groups) == 0 {
@@ -483,10 +516,10 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 			pass++
 			if pass > c.opts.MaxRetries {
 				return nil, fmt.Errorf("client: giving up after %d passes over %d endpoint(s): %w",
-					pass, len(c.eps), lastErr)
+					pass, len(v.eps), lastErr)
 			}
 			c.retryPasses.Add(1)
-			// As in doOrder: when the pass died throttled, wait out the
+			// As in doKeyed: when the pass died throttled, wait out the
 			// server's Retry-After rather than our (possibly shorter)
 			// exponential backoff.
 			wait := backoff
@@ -503,12 +536,13 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 			backoff *= 2
 			retryAfter = 0
 			excluded = map[*endpoint]bool{}
+			c.refreshAfterFailedPass(ctx)
 			continue
 		}
 
 		type groupResult struct {
 			ep         *endpoint
-			items      []shardItem
+			as         *assignment
 			frags      []server.BatchFragment
 			err        error
 			retryable  bool
@@ -520,14 +554,14 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 			wg    sync.WaitGroup
 		)
 		sem := make(chan struct{}, workers)
-		for ep, its := range groups {
+		for ep, as := range groups {
 			wg.Add(1)
-			go func(ep *endpoint, its []shardItem) {
+			go func(ep *endpoint, as *assignment) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				byVar := map[string][]int{}
-				for _, it := range its {
+				for _, it := range as.items {
 					byVar[it.vr] = append(byVar[it.vr], it.fi)
 				}
 				req := server.BatchRequest{}
@@ -536,7 +570,7 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 				}
 				body, _ := json.Marshal(req)
 				blob, err, retryable, ra := c.attempt(ctx, ep, "POST", "/v1/d/"+dataset+"/frags", body, "application/json")
-				res := groupResult{ep: ep, items: its, err: err, retryable: retryable, retryAfter: ra}
+				res := groupResult{ep: ep, as: as, err: err, retryable: retryable, retryAfter: ra}
 				if err == nil {
 					res.frags, res.err = server.DecodeBatch(blob)
 					// A batch that decodes wrong is corruption, not an
@@ -546,7 +580,7 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 				resMu.Lock()
 				results = append(results, res)
 				resMu.Unlock()
-			}(ep, its)
+			}(ep, as)
 		}
 		wg.Wait()
 
@@ -557,8 +591,8 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 				for _, f := range res.frags {
 					got[fragKey(dataset, f.Var, f.Index)] = f.Payload
 				}
-				for _, it := range res.items {
-					if res.ep != it.order[0] {
+				for i := range res.as.items {
+					if !res.as.primary[i] {
 						c.failovers.Add(1)
 					}
 				}
@@ -571,7 +605,7 @@ func (c *Client) fetchShards(ctx context.Context, dataset string, wants map[stri
 					retryAfter = res.retryAfter
 				}
 				excluded[res.ep] = true
-				remaining = append(remaining, res.items...)
+				remaining = append(remaining, res.as.items...)
 			default:
 				return nil, res.err
 			}

@@ -137,8 +137,8 @@ func TestReplicationClampAndEndpoints(t *testing.T) {
 	if got := c.Endpoints(); len(got) != 2 { // the duplicate (trailing slash) deduped
 		t.Fatalf("endpoints = %v", got)
 	}
-	if c.repl != 2 {
-		t.Fatalf("replication = %d, want clamped 2", c.repl)
+	if got := c.view().repl; got != 2 {
+		t.Fatalf("replication = %d, want clamped 2", got)
 	}
 	if _, err := New("ftp://nope", Options{}); err == nil {
 		t.Fatal("bad scheme accepted")
@@ -295,7 +295,7 @@ func TestBreakerRoutesAroundSickNodeThenRecovers(t *testing.T) {
 	// -race, unlike sleeping): the next call's half-open probe lets the
 	// node back in.
 	nodes[0].fail.Store(false)
-	for _, ep := range c.eps {
+	for _, ep := range c.view().eps {
 		if ep.base == nodes[0].hs.URL {
 			ep.mu.Lock()
 			ep.openUntil = time.Now()
@@ -384,7 +384,7 @@ func TestSpillPrefersHealthyNodeOverOpenReplicas(t *testing.T) {
 	// Force-open two breakers with a far-future cooldown. Every shard
 	// whose whole replica set they cover must spill straight to the
 	// healthy third node without dialing the open ones.
-	for _, ep := range c.eps[:2] {
+	for _, ep := range c.view().eps[:2] {
 		ep.mu.Lock()
 		ep.state = bkOpen
 		ep.openUntil = time.Now().Add(time.Hour)

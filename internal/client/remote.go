@@ -87,6 +87,15 @@ type Remote struct {
 // never need it.
 func (r *Remote) WaitReadAhead() { r.specWG.Wait() }
 
+// Close waits for in-flight read-ahead fetches and stops the underlying
+// client's background topology refresher. Only the Remote that owns its
+// client (the Open path) should call it; with a shared client (New +
+// OpenDataset across datasets), close the client once instead.
+func (r *Remote) Close() {
+	r.WaitReadAhead()
+	r.c.Close()
+}
+
 // Open dials baseURL and opens the named dataset with fresh client
 // options; ctx scopes the metadata round trips (and, with
 // Options.DiscoverPeers, one best-effort topology fetch). Share one
@@ -94,7 +103,8 @@ func (r *Remote) WaitReadAhead() { r.specWG.Wait() }
 // span them.
 func Open(ctx context.Context, baseURL, dataset string, opt Options) (*Remote, error) {
 	if opt.DiscoverPeers {
-		// Ask the seed node for its static topology and fold the peers
+		// Ask the seed node for its topology and fold the routable nodes
+		// (alive members on an elastic cluster, static peers otherwise)
 		// into the endpoint set. Best-effort: a node without the route
 		// (or an unreachable one — the configured endpoints may still
 		// cover for it) is treated as advertising nothing.
@@ -109,7 +119,7 @@ func Open(ctx context.Context, baseURL, dataset string, opt Options) (*Remote, e
 			return nil, err
 		}
 		if info, err := seed.ClusterInfo(ctx); err == nil {
-			opt.Endpoints = append(append([]string(nil), opt.Endpoints...), info.Peers...)
+			opt.Endpoints = append(append([]string(nil), opt.Endpoints...), routableFrom(info, baseURL)...)
 		}
 	}
 	c, err := New(baseURL, opt)

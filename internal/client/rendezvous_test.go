@@ -1,0 +1,168 @@
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// mkEndpoints builds n endpoints named like real cluster nodes.
+func mkEndpoints(n int) []*endpoint {
+	eps := make([]*endpoint, n)
+	for i := range eps {
+		base := fmt.Sprintf("http://node%d:9123", i)
+		eps[i] = &endpoint{base: base, hash: fnv64(base)}
+	}
+	return eps
+}
+
+// shardKeys builds a realistic key population: five variables, nk
+// fragments each.
+func shardKeys(nk int) []string {
+	vars := []string{"Vx", "Vy", "Vz", "P", "D"}
+	keys := make([]string, 0, len(vars)*nk)
+	for _, vr := range vars {
+		for fi := 0; fi < nk; fi++ {
+			keys = append(keys, shardKey(vr, fi))
+		}
+	}
+	return keys
+}
+
+func owners(eps []*endpoint, keys []string) map[string]*endpoint {
+	out := make(map[string]*endpoint, len(keys))
+	for _, k := range keys {
+		out[k] = rankEndpoints(eps, k)[0]
+	}
+	return out
+}
+
+// TestRendezvousRebalanceBound is the property test for elastic
+// rebalancing: across randomized N→N+1 and N→N-1 transitions, the
+// fraction of keys whose owner changes stays near the ideal 1/N — the
+// whole point of rendezvous hashing over mod-N sharding, where a single
+// join reshuffles nearly everything.
+func TestRendezvousRebalanceBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := shardKeys(200) // 1000 keys
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8) // clusters of 2..9 nodes
+		eps := mkEndpoints(n)
+		rng.Shuffle(len(eps), func(i, j int) { eps[i], eps[j] = eps[j], eps[i] })
+		before := owners(eps, keys)
+
+		t.Run(fmt.Sprintf("trial%d_grow_%d_to_%d", trial, n, n+1), func(t *testing.T) {
+			extra := &endpoint{base: fmt.Sprintf("http://joiner%d:9123", trial)}
+			extra.hash = fnv64(extra.base)
+			grown := append(append([]*endpoint(nil), eps...), extra)
+			moved := 0
+			for k, prev := range before {
+				now := rankEndpoints(grown, k)[0]
+				if now != prev {
+					moved++
+					// Every moved key must have moved TO the joiner:
+					// rendezvous scores are per (endpoint, key), so an
+					// added node cannot shuffle keys between survivors.
+					if now != extra {
+						t.Fatalf("key %q moved %s -> %s, not to the joiner", k, prev.base, now.base)
+					}
+				}
+			}
+			frac, ideal := float64(moved)/float64(len(keys)), 1/float64(n+1)
+			// 1.6x headroom over the ideal covers hash variance at 1000
+			// keys while still catching any systematic reshuffle.
+			if frac > 1.6*ideal {
+				t.Fatalf("grow moved %.1f%% of keys, ideal %.1f%%", 100*frac, 100*ideal)
+			}
+		})
+
+		t.Run(fmt.Sprintf("trial%d_shrink_%d", trial, n), func(t *testing.T) {
+			gone := eps[rng.Intn(n)]
+			var shrunk []*endpoint
+			for _, ep := range eps {
+				if ep != gone {
+					shrunk = append(shrunk, ep)
+				}
+			}
+			for k, prev := range before {
+				now := rankEndpoints(shrunk, k)[0]
+				if prev == gone {
+					// Orphaned keys must land on their previous second
+					// choice — that is what makes replica fetches warm.
+					if want := rankEndpoints(eps, k)[1]; now != want {
+						t.Fatalf("orphaned key %q landed on %s, want old runner-up %s", k, now.base, want.base)
+					}
+				} else if now != prev {
+					t.Fatalf("key %q owned by surviving %s moved to %s on unrelated removal",
+						k, prev.base, now.base)
+				}
+			}
+		})
+	}
+}
+
+// TestRendezvousOrderIndependence pins that ownership — the full
+// preference order, not just the winner — is identical no matter what
+// order a client learned the peers in, which is what lets nodes with
+// different join histories agree on every fragment's primary.
+func TestRendezvousOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eps := mkEndpoints(7)
+	keys := shardKeys(40)
+	want := make(map[string][]string, len(keys))
+	for _, k := range keys {
+		var bases []string
+		for _, ep := range rankEndpoints(eps, k) {
+			bases = append(bases, ep.base)
+		}
+		want[k] = bases
+	}
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]*endpoint(nil), eps...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for _, k := range keys {
+			got := rankEndpoints(shuffled, k)
+			for i, ep := range got {
+				if ep.base != want[k][i] {
+					t.Fatalf("trial %d key %q: rank %d is %s, want %s", trial, k, i, ep.base, want[k][i])
+				}
+			}
+		}
+	}
+}
+
+// TestRendezvousGolden pins the splitmix64-mixed scoring against
+// accidental reshuffles: changing the mixer, the FNV seed, the shard-key
+// encoding, or the tie-break silently remaps every fragment in every
+// deployed cluster (cold caches fleet-wide), so the exact assignment is
+// frozen here.
+func TestRendezvousGolden(t *testing.T) {
+	eps := mkEndpoints(5)
+	want := map[string]string{
+		shardKey("Vx", 0):  "http://node4:9123",
+		shardKey("Vx", 1):  "http://node0:9123",
+		shardKey("Vx", 2):  "http://node0:9123",
+		shardKey("Vx", 3):  "http://node1:9123",
+		shardKey("Vy", 0):  "http://node2:9123",
+		shardKey("Vy", 7):  "http://node1:9123",
+		shardKey("Vz", 11): "http://node1:9123",
+		shardKey("P", 0):   "http://node4:9123",
+		shardKey("P", 5):   "http://node1:9123",
+		shardKey("D", 63):  "http://node2:9123",
+	}
+	for k, wantBase := range want {
+		if got := rankEndpoints(eps, k)[0].base; got != wantBase {
+			t.Fatalf("owner of %q = %s, want pinned %s (scoring function changed?)", k, got, wantBase)
+		}
+	}
+	// And the mixer itself: splitmix64 finalizer reference values.
+	for _, tc := range []struct{ in, out uint64 }{
+		{0, 0},
+		{1, 0x5692161d100b05e5},
+		{0x9e3779b97f4a7c15, 0xe220a8397b1dcdaf},
+	} {
+		if got := mix64(tc.in); got != tc.out {
+			t.Fatalf("mix64(%#x) = %#x, want %#x", tc.in, got, tc.out)
+		}
+	}
+}

@@ -6,7 +6,11 @@
 //
 //	GET  /healthz                     liveness + serving statistics (JSON)
 //	GET  /metrics                     Prometheus text exposition
-//	GET  /v1/cluster                  static cluster topology (advertise + peers)
+//	GET  /v1/cluster                  live cluster topology: members, states, epoch
+//	POST /v1/cluster/join             node announcement: enter the membership table
+//	POST /v1/cluster/heartbeat        liveness refresh + anti-entropy view exchange
+//	POST /v1/cluster/leave            clean departure (deregister immediately)
+//	POST /v1/cluster/drain            graceful drain (admin-gated)
 //	GET  /v1/datasets                 served dataset names (JSON)
 //	POST /v1/datasets/reload          hot-publish: re-scan the store (admin-gated)
 //	GET  /v1/d/{ds}/index             dataset index: variables + fragment sizes
@@ -133,6 +137,21 @@ type Options struct {
 	// serving slot (default DefaultMaxQueue; negative allows no queueing
 	// at all — a request that cannot be served immediately sheds).
 	MaxQueue int
+	// HeartbeatInterval is how often StartMembership announces this node
+	// to every known member and seed (default DefaultHeartbeatInterval).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how long a member may go silent before it is marked
+	// suspect and clients stop routing to it (default
+	// DefaultSuspectMultiple × HeartbeatInterval).
+	SuspectAfter time.Duration
+	// RemoveAfter is how long a member may go silent before it is removed
+	// from the table entirely (default DefaultRemoveMultiple ×
+	// HeartbeatInterval; clamped to at least SuspectAfter).
+	RemoveAfter time.Duration
+	// Generation orders incarnations of this node's advertised address:
+	// a restart must announce a higher generation than its predecessor
+	// (the daemon uses the boot time in nanoseconds). Default 1.
+	Generation int64
 }
 
 // dataset is one loaded archive with its precomputed wire artifacts.
@@ -198,6 +217,12 @@ type Stats struct {
 	// Unauthorized counts data-plane requests rejected 401 for a missing
 	// or unknown tenant token (only possible with Options.Tenants set).
 	Unauthorized int64 `json:"unauthorized"`
+	// Cluster membership state (see membership.go): the epoch of this
+	// node's view, how many members it knows (including itself when it
+	// has an advertised address), and whether it is draining.
+	ClusterEpoch    int64 `json:"clusterEpoch"`
+	ClusterMembers  int   `json:"clusterMembers"`
+	ClusterDraining bool  `json:"clusterDraining"`
 	// Tenants reports per-tenant serving counters, sorted by name; nil
 	// on a single-tenant (anonymous) server.
 	Tenants []TenantStats `json:"tenants,omitempty"`
@@ -211,11 +236,20 @@ type ReloadResult struct {
 	Removed  []string `json:"removed"`
 }
 
-// ClusterInfo is the /v1/cluster payload: the static topology a daemon was
-// launched with.
+// ClusterInfo is the /v1/cluster payload: this node's live view of the
+// cluster. Advertise and Peers predate elastic membership and keep their
+// shapes — Peers is the static -peers configuration unioned with every
+// known member, so one-shot peer discovery still finds the whole
+// cluster. Epoch, Members and Draining carry the live state: Epoch bumps
+// on every membership change, Members lists this node first (with its
+// generation and state) then peers sorted by address, and Draining
+// reports whether this node stopped accepting new sessions.
 type ClusterInfo struct {
-	Advertise string   `json:"advertise,omitempty"`
-	Peers     []string `json:"peers"`
+	Advertise string       `json:"advertise,omitempty"`
+	Peers     []string     `json:"peers"`
+	Epoch     int64        `json:"epoch,omitempty"`
+	Members   []MemberInfo `json:"members,omitempty"`
+	Draining  bool         `json:"draining,omitempty"`
 }
 
 // routeLabels names the per-route request counters in /metrics order.
@@ -240,6 +274,17 @@ type Server struct {
 	// reloadMu serializes hot publishes; readers never take it — they see
 	// either the old or the new catalog via the atomic pointer.
 	reloadMu sync.Mutex
+
+	// memb is the live membership table (see membership.go). The loop
+	// plumbing below it is written once by StartMembership and read-only
+	// afterwards.
+	memb         *membership
+	membHC       *http.Client
+	membSeeds    []string
+	membStop     chan struct{}
+	membStopOnce sync.Once
+	membWG       sync.WaitGroup
+	membStarted  atomic.Bool
 
 	// The limiter counters share one mutex so /healthz and /metrics
 	// snapshot them consistently (inflight can never read above maxSeen).
@@ -295,11 +340,13 @@ func New(ctx context.Context, st storage.Store, opt Options) (*Server, error) {
 		}
 	}
 	s := &Server{
-		store: st,
-		opts:  opt,
-		adm:   newAdmitter(opt.MaxInflight, opt.MaxQueue*opt.MaxInflight),
-		start: time.Now(),
-		hot:   newHotCache(opt.HotCacheBytes),
+		store:    st,
+		opts:     opt,
+		adm:      newAdmitter(opt.MaxInflight, opt.MaxQueue*opt.MaxInflight),
+		start:    time.Now(),
+		hot:      newHotCache(opt.HotCacheBytes),
+		memb:     newMembership(opt),
+		membStop: make(chan struct{}),
 	}
 	now := time.Now()
 	for _, t := range opt.Tenants {
@@ -321,6 +368,10 @@ func New(ctx context.Context, st storage.Store, opt Options) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/cluster", s.counted("cluster", s.handleCluster))
+	s.mux.HandleFunc("POST /v1/cluster/join", s.counted("cluster", s.handleClusterJoin))
+	s.mux.HandleFunc("POST /v1/cluster/heartbeat", s.counted("cluster", s.handleClusterHeartbeat))
+	s.mux.HandleFunc("POST /v1/cluster/leave", s.counted("cluster", s.handleClusterLeave))
+	s.mux.HandleFunc("POST /v1/cluster/drain", s.counted("cluster", s.handleClusterDrain))
 	s.mux.HandleFunc("GET /v1/datasets", s.counted("datasets", s.handleDatasets))
 	s.mux.HandleFunc("POST /v1/datasets/reload", s.counted("reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/d/{ds}/index", s.counted("index", s.handleIndex))
@@ -573,6 +624,7 @@ func (s *Server) Stats() Stats {
 	s.limMu.Unlock()
 	hc := s.hot.stats()
 	depths := s.adm.depths()
+	mm := s.memb.metrics()
 	var tstats []TenantStats
 	for _, ts := range s.tenants {
 		tstats = append(tstats, ts.stats())
@@ -581,6 +633,9 @@ func (s *Server) Stats() Stats {
 		QueuedInteractive: depths[0],
 		QueuedBulk:        depths[1],
 		Unauthorized:      s.unauthorized.Load(),
+		ClusterEpoch:      mm.epoch,
+		ClusterMembers:    mm.alive + mm.suspect + mm.draining,
+		ClusterDraining:   s.memb.isDraining(),
 		Tenants:           tstats,
 		Status:            "ok",
 		UptimeSeconds:     time.Since(s.start).Seconds(),
@@ -655,10 +710,14 @@ func (s *Server) authenticate(r *http.Request) (*tenantState, bool) {
 // count, dispatch. Observability probes bypass authentication and
 // admission — a saturated-but-healthy server must still answer
 // /healthz and /metrics, and the stats they report need no slot. The
-// admin reload route also skips tenant auth: it carries its own
-// AdminToken gate.
+// cluster control plane (/v1/cluster and its sub-routes) gets the same
+// treatment: peer heartbeats and topology refreshes are node-to-node
+// traffic that must survive tenant saturation, and the one mutating
+// route a client could abuse (drain) carries its own AdminToken gate.
+// The admin reload route also skips tenant auth for the same reason.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" ||
+		r.URL.Path == "/v1/cluster" || strings.HasPrefix(r.URL.Path, "/v1/cluster/") {
 		s.countRequest(false)
 		s.mux.ServeHTTP(w, r)
 		return
@@ -816,6 +875,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("progqoid_reload_failures_total", "counter", "Hot publishes rejected by store validation (catalog kept).", st.ReloadFailures)
 	metric("progqoid_datasets_loaded_total", "counter", "Datasets ingested into a serving catalog, at startup and on each reload.", st.DatasetsLoaded)
 
+	// Cluster membership families are always emitted — a solo node is a
+	// one-member cluster — so every node's scrape parses identically.
+	mm := s.memb.metrics()
+	fmt.Fprintf(&b, "# HELP progqoid_cluster_members Cluster members this node knows (including itself), by membership state.\n"+
+		"# TYPE progqoid_cluster_members gauge\n"+
+		"progqoid_cluster_members{state=\"alive\"} %d\n"+
+		"progqoid_cluster_members{state=\"suspect\"} %d\n"+
+		"progqoid_cluster_members{state=\"draining\"} %d\n",
+		mm.alive, mm.suspect, mm.draining)
+	metric("progqoid_cluster_epoch", "gauge", "Membership view epoch: bumps on every join, leave, drain, or state change.", mm.epoch)
+	metric("progqoid_cluster_suspect_total", "counter", "Members marked suspect after missed heartbeats.", mm.suspects)
+	metric("progqoid_cluster_drains_total", "counter", "Drain transitions this node acknowledged.", mm.drains)
+	metric("progqoid_cluster_heartbeats_total", "counter", "Membership heartbeats received from peers.", mm.heartbeats)
+
 	// Admission-queue gauges: how many requests are parked per class
 	// right now, plus cumulative queue traffic. A persistently deep bulk
 	// queue with an empty interactive one is the QoS design working.
@@ -892,15 +965,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(b.String())) //nolint:errcheck
 }
 
-// handleCluster reports the static topology this node was launched with
-// (cmd/progqoid -advertise/-peers), so a client pointed at one node can
-// discover the rest.
+// handleCluster reports this node's live view of the cluster: the
+// membership table (seeded from -advertise/-peers, evolved by
+// join/heartbeat/leave/drain), its epoch, and the legacy flat peer list
+// for one-shot discovery.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	peers := s.opts.Peers
-	if peers == nil {
-		peers = []string{}
-	}
-	b, _ := json.Marshal(ClusterInfo{Advertise: s.opts.Advertise, Peers: peers})
+	b, _ := json.Marshal(s.memb.info(s.opts.Peers))
 	writeBlob(w, r, b, "", "application/json", false)
 }
 
@@ -940,13 +1010,32 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeBlob(w, r, b, "", "application/json", false)
 }
 
+// rejectDraining sheds a session-opening request on a draining node.
+// Only index and meta — the routes every new session starts with — are
+// gated: fragment routes keep serving so in-flight retrievals finish,
+// which is the whole point of drain over kill.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.memb.isDraining() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "node draining: not accepting new sessions", http.StatusServiceUnavailable)
+	return true
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	if ds := s.dataset(w, r); ds != nil {
 		writeBlob(w, r, ds.index, ds.indexTag, "application/json", true)
 	}
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	if ds := s.dataset(w, r); ds != nil {
 		writeBlob(w, r, ds.meta, ds.metaTag, "application/octet-stream", true)
 	}

@@ -249,6 +249,13 @@ func TestObsClusterMetricsE2E(t *testing.T) {
 		"progqoid_goroutines":               "gauge",
 		"progqoid_heap_alloc_bytes":         "gauge",
 		"progqoid_gc_pause_seconds_total":   "counter",
+		// Elastic membership families are always exposed, even on a solo
+		// static node (zero-valued), so dashboards need no existence checks.
+		"progqoid_cluster_members":          "gauge",
+		"progqoid_cluster_epoch":            "gauge",
+		"progqoid_cluster_suspect_total":    "counter",
+		"progqoid_cluster_drains_total":     "counter",
+		"progqoid_cluster_heartbeats_total": "counter",
 	}
 	for i, fams := range mid {
 		for name, typ := range wantFamilies {

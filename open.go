@@ -182,14 +182,15 @@ func openDirArchive(ctx context.Context, p string) (*Archive, error) {
 // deprecated OpenRemote wrapper.
 func openRemoteArchive(ctx context.Context, baseURL, dataset string, ro remoteOptions) (*Archive, error) {
 	rem, err := client.Open(ctx, baseURL, dataset, client.Options{
-		CacheBytes:    ro.cacheBytes,
-		MaxRetries:    ro.maxRetries,
-		ReadAhead:     ro.readAhead,
-		HTTPClient:    ro.httpClient,
-		Endpoints:     ro.endpoints,
-		Replication:   ro.replication,
-		DiscoverPeers: ro.discover,
-		Token:         ro.token,
+		CacheBytes:      ro.cacheBytes,
+		MaxRetries:      ro.maxRetries,
+		ReadAhead:       ro.readAhead,
+		HTTPClient:      ro.httpClient,
+		Endpoints:       ro.endpoints,
+		Replication:     ro.replication,
+		DiscoverPeers:   ro.discover,
+		Token:           ro.token,
+		TopologyRefresh: ro.topologyRefresh,
 	})
 	if err != nil {
 		return nil, err

@@ -86,6 +86,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"progqoi/internal/client"
 	"progqoi/internal/core"
@@ -222,10 +223,12 @@ type remoteOptions struct {
 	replication int
 	discover    bool
 	token       string
-	s3Endpoint  string
-	s3Access    string
-	s3Secret    string
-	s3Region    string
+
+	topologyRefresh time.Duration
+	s3Endpoint      string
+	s3Access        string
+	s3Secret        string
+	s3Region        string
 }
 
 // WithCache bounds the fragment LRU cache shared by all sessions of the
@@ -317,6 +320,20 @@ var (
 	ErrRateLimited  = client.ErrRateLimited
 )
 
+// WithTopologyRefresh makes the archive follow an elastic progqoid
+// cluster: every interval the client re-fetches /v1/cluster and swaps in
+// the live membership as a new routing view, so nodes that join start
+// taking their rendezvous share of fragment fetches mid-session and
+// nodes that drain or die stop receiving new requests. A fully failed
+// retry pass also forces an immediate refresh, so a rolling restart is
+// picked up within one backoff rather than one interval. Combine with
+// WithPeerDiscovery to bootstrap from a single seed URL. Zero (the
+// default) keeps the classic static topology. Call Archive.Close to stop
+// the background refresher.
+func WithTopologyRefresh(interval time.Duration) RemoteOption {
+	return func(o *remoteOptions) { o.topologyRefresh = interval }
+}
+
 // WithReadAhead pipelines the wire with the decoder: after each batched
 // fragment fetch, up to n further fragments per variable — the ones a
 // tightening iteration would request next — are fetched in the background
@@ -373,6 +390,17 @@ func (a *Archive) RemoteStats() RemoteStats {
 func (a *Archive) WaitReadAhead() {
 	if a.remote != nil {
 		a.remote.WaitReadAhead()
+	}
+}
+
+// Close releases the archive's background machinery: it waits for
+// in-flight read-ahead fetches and stops the topology refresher started
+// by WithTopologyRefresh. Idempotent; a no-op for local and store-backed
+// archives, and sessions already open keep working afterwards (the
+// routing view just stops following the cluster).
+func (a *Archive) Close() {
+	if a.remote != nil {
+		a.remote.Close()
 	}
 }
 
